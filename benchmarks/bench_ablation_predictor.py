@@ -1,0 +1,89 @@
+"""Ablation — latency-predictor accuracy vs campaign size and capacity.
+
+§3.2 fixes the recipe at 10,000 samples and a 128-64-1 MLP.  This ablation
+sweeps the campaign size (500 → 8,000) and the hidden widths, reporting
+held-out RMSE and rank correlation.  Data dominates: RMSE drops steeply
+with campaign size (with diminishing returns).  Capacity does not: the
+latency function over one-hot encodings is compact enough that every width
+variant ranks architectures nearly perfectly, and at a fixed training
+budget *smaller* MLPs can even fit tighter — evidence the paper's 128-64-1
+choice is generous rather than binding.
+
+The timed kernel is one epoch of predictor training on a small campaign.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments.reporting import render_table, save_json
+from repro.predictor.dataset import collect_latency_dataset
+from repro.predictor.metrics import kendall_tau
+from repro.predictor.mlp import MLPPredictor
+
+CAMPAIGN_SIZES = (500, 2000, 8000)
+HIDDEN_VARIANTS = ((32, 16), (128, 64), (256, 128))
+
+
+def test_ablation_predictor_scaling(ctx, benchmark):
+    rng = np.random.default_rng(77)
+    full = collect_latency_dataset(ctx.latency_model, max(CAMPAIGN_SIZES) + 2000,
+                                   rng)
+    holdout_features = full.features[-2000:]
+    holdout_targets = full.targets[-2000:]
+
+    def evaluate(predictor):
+        pred = predictor.predict(holdout_features)
+        rmse = float(np.sqrt(np.mean((pred - holdout_targets) ** 2)))
+        tau = kendall_tau(pred, holdout_targets)
+        return rmse, tau
+
+    rows = []
+    size_rmses = []
+    for size in CAMPAIGN_SIZES:
+        subset = type(full)(features=full.features[:size],
+                            targets=full.targets[:size],
+                            archs=full.archs[:size])
+        predictor = MLPPredictor(ctx.space, seed=0)
+        predictor.fit(subset, epochs=200, batch_size=256, lr=3e-3,
+                      weight_decay=0.0)
+        rmse, tau = evaluate(predictor)
+        size_rmses.append(rmse)
+        rows.append([f"{size} samples", "(128, 64)", rmse, tau])
+
+    hidden_rmses = []
+    for hidden in HIDDEN_VARIANTS:
+        subset = type(full)(features=full.features[:4000],
+                            targets=full.targets[:4000],
+                            archs=full.archs[:4000])
+        predictor = MLPPredictor(ctx.space, hidden=hidden, seed=0)
+        predictor.fit(subset, epochs=200, batch_size=256, lr=3e-3,
+                      weight_decay=0.0)
+        rmse, tau = evaluate(predictor)
+        hidden_rmses.append(rmse)
+        rows.append(["4000 samples", str(hidden), rmse, tau])
+
+    emit("ablation_predictor", render_table(
+        ["campaign", "hidden widths", "RMSE ms", "Kendall τ"],
+        rows, title="Ablation — predictor accuracy vs data and capacity"))
+    save_json("ablation_predictor", {
+        "campaign_sizes": list(CAMPAIGN_SIZES), "size_rmses": size_rmses,
+        "hidden_variants": [str(h) for h in HIDDEN_VARIANTS],
+        "hidden_rmses": hidden_rmses,
+    })
+
+    # more data monotonically helps, with diminishing returns
+    assert size_rmses[0] > size_rmses[1] > size_rmses[2]
+    assert (size_rmses[0] - size_rmses[1]) > (size_rmses[1] - size_rmses[2])
+    # capacity is not the bottleneck: every width variant is search-grade
+    # (sub-0.7 ms RMSE at 4k samples, far below the 11+ ms LUT error), and
+    # width does not buy accuracy the way data does
+    assert max(hidden_rmses) < 0.7
+    assert min(hidden_rmses) < 0.2
+    assert max(hidden_rmses) - min(hidden_rmses) < size_rmses[0] - size_rmses[2]
+
+    small = type(full)(features=full.features[:500], targets=full.targets[:500],
+                       archs=full.archs[:500])
+    predictor = MLPPredictor(ctx.space, seed=1)
+    benchmark.pedantic(
+        lambda: predictor.fit(small, epochs=1, batch_size=256, lr=1e-3),
+        rounds=3, iterations=1)

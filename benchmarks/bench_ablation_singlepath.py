@@ -1,0 +1,65 @@
+"""Ablation — single-path STE vs multi-path relaxation (§3.3).
+
+Quantifies the two §3.3 claims on a real supernet (tiny geometry, real
+tensors):
+
+* **memory**: multi-path executes K× the operator instances per forward
+  (the "memory bottleneck" of DARTS/SNAS/FBNet);
+* **compute**: the wall-clock of a multi-path forward is several times a
+  single-path forward — this is what lets LightNAS use larger batches.
+
+The timed kernel is the single-path supernet forward.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro import nn
+from repro.experiments.reporting import render_table, save_json
+from repro.proxy.supernet import SuperNet
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+
+def test_ablation_single_vs_multi_path(benchmark):
+    space = SearchSpace(MacroConfig.tiny(num_searchable_layers=6))
+    supernet = SuperNet(space, np.random.default_rng(0))
+    r = space.macro.input_resolution
+    x = nn.Tensor(np.random.default_rng(1).normal(size=(8, 3, r, r)))
+    arch = space.sample(np.random.default_rng(2))
+    gates = nn.Tensor(arch.one_hot(space.num_operators))
+    uniform = nn.Tensor(np.full((space.num_layers, space.num_operators),
+                                1.0 / space.num_operators))
+
+    def timed(fn, *args, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    single_time = timed(supernet.forward_single_path, x, gates)
+    single_paths = supernet.last_active_paths
+    multi_time = timed(supernet.forward_weighted, x, uniform)
+    multi_paths = supernet.last_active_paths
+
+    rows = [
+        ["single-path (LightNAS)", single_paths, single_time * 1e3, 1.0],
+        ["multi-path (DARTS/FBNet)", multi_paths, multi_time * 1e3,
+         multi_time / single_time],
+    ]
+    emit("ablation_singlepath", render_table(
+        ["execution mode", "active operators", "forward ms", "relative cost"],
+        rows, title="Ablation — single-path vs multi-path supernet forward"))
+    save_json("ablation_singlepath", {
+        "single_paths": single_paths, "multi_paths": multi_paths,
+        "single_ms": single_time * 1e3, "multi_ms": multi_time * 1e3,
+    })
+
+    assert multi_paths == space.num_operators * single_paths
+    assert multi_time > 2.5 * single_time  # K=7 paths ⇒ ≫ 1× compute/memory
+
+    benchmark(supernet.forward_single_path, x, gates)

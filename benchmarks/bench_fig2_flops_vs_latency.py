@@ -1,0 +1,63 @@
+"""Figure 2 — FLOPs is an inaccurate proxy for latency and energy.
+
+Regenerates the scatter of the paper's motivational figure on the simulated
+Xavier: 1,000 random architectures, their multi-add counts, and measured
+latency/energy.  Reports the correlation and, as the paper highlights, the
+FLOPs spread among architectures with (nearly) the same latency or energy.
+
+The timed kernel is the analytic latency evaluation itself — the operation
+the figure's x-axis is built from.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments.reporting import render_table, save_json
+from repro.hardware.flops import count_macs
+
+NUM_ARCHS = 1000
+
+
+def test_fig2_flops_vs_latency_and_energy(ctx, benchmark):
+    rng = np.random.default_rng(2)
+    archs = ctx.space.sample_many(NUM_ARCHS, rng)
+
+    latencies = np.array([ctx.latency_model.latency_ms(a) for a in archs])
+    energies = np.array([ctx.energy_model.energy_mj(a) for a in archs])
+    macs = np.array([count_macs(ctx.space, a) for a in archs]) / 1e6
+
+    lat_corr = float(np.corrcoef(macs, latencies)[0, 1])
+    en_corr = float(np.corrcoef(macs, energies)[0, 1])
+
+    def spread_at_fixed(values, width):
+        center = float(np.median(values))
+        band = np.abs(values - center) < width
+        return float(macs[band].max() / macs[band].min()), int(band.sum())
+
+    lat_spread, lat_n = spread_at_fixed(latencies, 0.5)
+    en_spread, en_n = spread_at_fixed(energies, 8.0)
+
+    rows = [
+        ["latency (ms)", f"{latencies.min():.1f}–{latencies.max():.1f}",
+         lat_corr, f"×{lat_spread:.2f} over {lat_n} archs"],
+        ["energy (mJ)", f"{energies.min():.0f}–{energies.max():.0f}",
+         en_corr, f"×{en_spread:.2f} over {en_n} archs"],
+    ]
+    emit("fig2_flops_vs_latency", render_table(
+        ["metric", "range", "corr w/ MACs", "MACs spread at fixed metric"],
+        rows,
+        title=f"Figure 2 — FLOPs vs measured metrics ({NUM_ARCHS} random archs, "
+              f"MACs {macs.min():.0f}–{macs.max():.0f} M)"))
+    save_json("fig2_flops_vs_latency", {
+        "macs_m": macs.tolist(), "latency_ms": latencies.tolist(),
+        "energy_mj": energies.tolist(),
+        "corr_latency": lat_corr, "corr_energy": en_corr,
+    })
+
+    # Paper's claim: the proxy is informative but clearly imperfect, and
+    # same-latency architectures differ widely in FLOPs.
+    assert 0.4 < lat_corr < 0.95
+    assert 0.4 < en_corr < 0.98
+    assert lat_spread > 1.15
+
+    benchmark(ctx.latency_model.latency_ms, archs[0])

@@ -1,0 +1,63 @@
+"""Figure 8 — generality to energy-critical tasks.
+
+Left: the same MLP architecture fits energy measurements (noisier than
+latency, because of the temperature drift the paper mentions).  Right: the
+search converges under a 500 mJ energy constraint with the energy predictor
+plugged in — no engine changes.
+
+The timed kernel is one energy-model evaluation.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.experiments.reporting import ascii_series, render_table, save_json
+from repro.experiments.shared import fit_energy_predictor
+
+TARGET_MJ = 500.0
+
+
+def test_fig8_energy_predictor_and_search(ctx, benchmark):
+    predictor, energy_rmse = fit_energy_predictor(ctx.space, ctx.energy_model)
+
+    config = LightNASConfig.paper(TARGET_MJ, space=ctx.space, seed=0,
+                                  metric_name="energy_mj")
+    result = LightNAS(config, predictor=predictor).search()
+    model_energy = ctx.energy_model.energy_mj(result.architecture)
+
+    rows = [
+        ["energy predictor RMSE (mJ)", f"{energy_rmse:.2f}",
+         "noisier than latency fit"],
+        ["latency predictor RMSE (ms)", f"{ctx.latency_predictor_rmse:.3f}",
+         "for comparison"],
+        ["search target (mJ)", f"{TARGET_MJ:.0f}", "paper's Fig. 8 Right"],
+        ["searched energy (mJ)", f"{model_energy:.1f}", "model value"],
+        ["final λ", f"{result.final_lambda:+.4f}", "learned, not tuned"],
+    ]
+    text = render_table(["quantity", "value", "note"], rows,
+                        title="Figure 8 — energy-constrained LightNAS")
+    text += "\n\n" + ascii_series(result.trajectory.predicted_metric,
+                                  label="predicted energy (mJ) per epoch")
+    emit("fig8_energy", text)
+    save_json("fig8_energy", {
+        "energy_rmse_mj": energy_rmse,
+        "latency_rmse_ms": ctx.latency_predictor_rmse,
+        "searched_energy_mj": model_energy,
+        "trajectory": result.trajectory.predicted_metric,
+    })
+
+    # the energy fit is worse in relative terms (temperature drift) ...
+    assert (energy_rmse / 450.0) > (ctx.latency_predictor_rmse / 24.0)
+    # ... but the search still satisfies the energy constraint.  The energy
+    # predictor's drift-induced error is exploited by the optimiser, so the
+    # band here is wider than the latency one (predicted convergence is
+    # tight; model-value error tracks the predictor RMSE).
+    assert abs(model_energy - TARGET_MJ) / TARGET_MJ < 0.12
+    # and converged: the *predicted* trajectory tail sits at the target
+    tail = result.trajectory.predicted_metric[-8:]
+    assert all(abs(m - TARGET_MJ) / TARGET_MJ < 0.08 for m in tail)
+
+    rng = np.random.default_rng(0)
+    arch = ctx.space.sample(rng)
+    benchmark(ctx.energy_model.energy_mj, arch)

@@ -1,0 +1,66 @@
+"""Table 3 — transferability to object detection (SSDLite surrogate).
+
+Drops backbones into the detection evaluator: the manual MobileNetV2, a
+fixed-λ FBNet search, an OFA-style evolution search, and the cached
+LightNets (20/24/28 ms).  Shape requirements from the paper's Table 3:
+detection quality tracks backbone quality, and LightNets reach comparable
+or better AP at *lower* detection latency than the baselines.
+
+The timed kernel is one detection evaluation.
+"""
+
+from conftest import emit
+from repro.baselines.evolution import EvolutionConfig, EvolutionSearch
+from repro.baselines.gradient import FBNetSearch, GradientNASConfig
+from repro.baselines.scaling import ScalingBaseline
+from repro.eval.detection import DetectionEvaluator
+from repro.experiments.reporting import render_table, save_json
+from repro.search_space.space import Architecture
+
+
+def test_table3_detection_transfer(ctx, lightnets, benchmark):
+    evaluator = DetectionEvaluator(ctx.space, ctx.latency_model, ctx.oracle)
+
+    mnv2 = Architecture((ScalingBaseline.UNIFORM_OP,) * ctx.space.num_layers)
+    fbnet = FBNetSearch(
+        GradientNASConfig(space=ctx.space, epochs=30, steps_per_epoch=20,
+                          latency_lambda=0.008, seed=0),
+        ctx.oracle, ctx.latency_predictor).search().architecture
+    evolution = EvolutionSearch(
+        EvolutionConfig(space=ctx.space, target=26.0, cycles=250, seed=0),
+        ctx.latency_predictor, ctx.oracle).search().architecture
+
+    backbones = [
+        ("MobileNetV2", mnv2),
+        ("FBNet-Xavier", fbnet),
+        ("OFA-Evo", evolution),
+        ("LightNet-20ms", lightnets[20.0]),
+        ("LightNet-24ms", lightnets[24.0]),
+        ("LightNet-28ms", lightnets[28.0]),
+    ]
+    results = {name: evaluator.evaluate(arch, name=name)
+               for name, arch in backbones}
+
+    rows = [[r.name, r.ap, r.ap50, r.ap75, r.ap_small, r.ap_medium, r.ap_large,
+             r.latency_ms] for r in results.values()]
+    emit("table3_detection", render_table(
+        ["backbone", "AP", "AP50", "AP75", "APS", "APM", "APL", "latency ms"],
+        rows, title="Table 3 — SSDLite transfer on the COCO surrogate"))
+    save_json("table3_detection", {n: r.as_dict() for n, r in results.items()})
+
+    # APs in the paper's 19–23 band
+    for r in results.values():
+        assert 17.0 < r.ap < 25.0
+    # bigger LightNet budget ⇒ better detector
+    assert (results["LightNet-20ms"].ap < results["LightNet-24ms"].ap
+            < results["LightNet-28ms"].ap)
+    # LightNets beat the manual baseline
+    assert results["LightNet-24ms"].ap > results["MobileNetV2"].ap
+    # comparable AP to the strongest baseline at lower detection latency
+    strongest_baseline = max(
+        (results["FBNet-Xavier"], results["OFA-Evo"]), key=lambda r: r.ap)
+    best_light = results["LightNet-28ms"]
+    assert best_light.ap >= strongest_baseline.ap - 0.3
+    assert best_light.latency_ms < strongest_baseline.latency_ms + 10.0
+
+    benchmark(evaluator.evaluate, lightnets[24.0], "LightNet-24ms")

@@ -1,0 +1,53 @@
+"""Table 4 — ablation of the Squeeze-and-Excitation module.
+
+Applies SE to the last nine layers of each cached LightNet and reports the
+accuracy/FLOPs/latency deltas.  The paper's shape: SE buys +0.4–0.9 top-1
+for a small FLOPs increase and +0.9–2.1 ms latency.
+
+The timed kernel is one with-SE evaluation row.
+"""
+
+from conftest import emit
+from repro.eval.imagenet import ImageNetEvaluator
+from repro.experiments.reporting import render_table, save_json
+
+SE_LAYERS = 9
+
+
+def test_table4_se_ablation(ctx, lightnets, benchmark):
+    evaluator = ImageNetEvaluator(ctx.space, ctx.latency_model, ctx.oracle)
+
+    rows = []
+    records = {}
+    for target, arch in sorted(lightnets.items()):
+        base = evaluator.evaluate(arch, name=f"LightNet-{target:.0f}ms")
+        se = evaluator.evaluate(arch, name=f"LightNet-{target:.0f}ms-SE",
+                                with_se_last=SE_LAYERS)
+        records[target] = (base, se)
+        rows.append([
+            se.name,
+            f"{se.top1:.1f} (+{se.top1 - base.top1:.1f})",
+            f"{se.top5:.1f} (+{se.top5 - base.top5:.1f})",
+            f"{se.macs_m:.0f} (+{se.macs_m - base.macs_m:.0f})",
+            f"{se.latency_ms:.1f} (+{se.latency_ms - base.latency_ms:.1f})",
+        ])
+
+    emit("table4_se_ablation", render_table(
+        ["architecture", "top-1 %", "top-5 %", "MACs M", "latency ms"],
+        rows, title=f"Table 4 — SE module on the last {SE_LAYERS} layers"))
+    save_json("table4_se_ablation", {
+        str(t): {"base": records[t][0].as_dict(), "se": records[t][1].as_dict()}
+        for t in records
+    })
+
+    for target, (base, se) in records.items():
+        # accuracy improves by the paper's +0.4–0.9-ish band
+        assert 0.2 < se.top1 - base.top1 < 1.2
+        assert se.top5 > base.top5
+        # small FLOPs increase (paper: +2–4 M)
+        assert 0 < se.macs_m - base.macs_m < 10
+        # latency increases by roughly 1–2.5 ms
+        assert 0.3 < se.latency_ms - base.latency_ms < 3.0
+
+    benchmark(evaluator.evaluate, lightnets[24.0], "LightNet-24ms-SE",
+              "differentiable", SE_LAYERS)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+``ctx`` loads the full-space experiment context (the fitted 10k-campaign
+latency predictor is cached on disk, so only the first-ever run pays the
+campaign).  ``lightnets`` caches one LightNAS search per Table-2 target, so
+the many benchmarks that consume searched architectures (Tables 2–4,
+Figures 6 and 9) do not re-run identical searches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.experiments.reporting import results_dir
+from repro.experiments.shared import full_context
+from repro.search_space.space import Architecture
+
+TABLE2_TARGETS = (20.0, 22.0, 24.0, 26.0, 28.0, 30.0)
+SEARCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return full_context()
+
+
+@pytest.fixture(scope="session")
+def lightnets(ctx):
+    """One searched architecture per Table-2 latency target (disk-cached)."""
+    cache_file = os.path.join(results_dir(), "cache",
+                              f"lightnets_seed{SEARCH_SEED}.json")
+    if os.path.exists(cache_file):
+        with open(cache_file) as handle:
+            payload = json.load(handle)
+        return {float(k): Architecture(tuple(v)) for k, v in payload.items()}
+
+    searched = {}
+    for target in TABLE2_TARGETS:
+        config = LightNASConfig.paper(target, space=ctx.space, seed=SEARCH_SEED)
+        result = LightNAS(config, predictor=ctx.latency_predictor).search()
+        searched[target] = result.architecture
+    os.makedirs(os.path.dirname(cache_file), exist_ok=True)
+    with open(cache_file, "w") as handle:
+        json.dump({str(k): list(v.op_indices) for k, v in searched.items()},
+                  handle)
+    return searched
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

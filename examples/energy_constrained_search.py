@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Generality to energy-critical tasks (Figure 8).
+
+The paper's predictor/search machinery is metric-agnostic: replace the
+latency predictor with an energy predictor and the same one-time search
+satisfies an energy constraint instead.  This script:
+
+1. runs an energy measurement campaign (with AR(1) temperature drift,
+   which is why the energy fit is noisier than the latency fit),
+2. fits the same 128-64-1 MLP to energy targets,
+3. searches under the paper's 500 mJ constraint and verifies convergence.
+"""
+
+from repro import LightNAS, LightNASConfig
+from repro.experiments import ascii_series, fit_energy_predictor, full_context
+
+TARGET_MJ = 500.0
+
+
+def main() -> None:
+    ctx = full_context()
+    print("fitting the energy predictor (cached across runs) ...")
+    predictor, rmse = fit_energy_predictor(ctx.space, ctx.energy_model)
+    print(f"energy predictor RMSE : {rmse:.2f} mJ "
+          f"(latency fit: {ctx.latency_predictor_rmse:.3f} ms — energy is "
+          "noisier because of temperature drift)")
+
+    config = LightNASConfig.paper(TARGET_MJ, space=ctx.space, seed=0,
+                                  metric_name="energy_mj")
+    result = LightNAS(config, predictor=predictor).search()
+
+    true_energy = ctx.energy_model.energy_mj(result.architecture)
+    print(f"\nsearched under E = {TARGET_MJ} mJ:")
+    print(f"  predicted energy : {result.predicted_metric:.1f} mJ")
+    print(f"  model energy     : {true_energy:.1f} mJ")
+    print(f"  learned λ        : {result.final_lambda:+.4f}")
+    print()
+    print(ascii_series(result.trajectory.predicted_metric,
+                       label="predicted energy (mJ) per search epoch"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Latency prediction shoot-out: MLP predictor vs lookup table (Figure 5).
+
+Reproduces the §3.2 comparison:
+
+* the MLP predictor, trained on a 10,000-architecture measurement campaign,
+  approaches the measurement-noise floor;
+* the additive LUT over-predicts by a consistent ~11 ms gap (isolated
+  per-operator measurement pays synchronisation overhead that fused
+  whole-network execution does not), and keeps a residual error even after
+  the constant bias is removed (it cannot see cross-layer fusion).
+"""
+
+import numpy as np
+
+from repro.experiments import full_context, render_table
+from repro.hardware import LatencyLUT
+from repro.predictor import kendall_tau, rmse
+
+NUM_EVAL = 500
+
+
+def main() -> None:
+    ctx = full_context()
+    rng = np.random.default_rng(123)
+    archs = ctx.space.sample_many(NUM_EVAL, rng)
+    measured = np.array([ctx.latency_model.latency_ms(a) for a in archs])
+
+    mlp_pred = np.array([ctx.latency_predictor.predict_arch(a) for a in archs])
+
+    print("building the latency LUT (isolated per-operator measurements) ...")
+    lut = LatencyLUT(ctx.latency_model, rng, trials=5)
+    lut_raw = lut.predict_many(archs)
+    gap = lut.debias(archs, measured)
+    lut_debiased = lut.predict_many(archs)
+
+    rows = [
+        ["MLP predictor (ours)", rmse(mlp_pred, measured),
+         kendall_tau(mlp_pred, measured)],
+        ["LUT (raw)", rmse(lut_raw, measured), kendall_tau(lut_raw, measured)],
+        ["LUT (bias removed)", rmse(lut_debiased, measured),
+         kendall_tau(lut_debiased, measured)],
+    ]
+    print()
+    print(render_table(["method", "RMSE (ms)", "Kendall τ"], rows,
+                       title=f"Latency prediction on {NUM_EVAL} architectures"))
+    print(f"\nconsistent LUT gap absorbed by de-biasing: {gap:.2f} ms "
+          "(paper reports ≈11.48 ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: one latency-constrained search, end to end, in ~30 seconds.
+
+Runs the *full* LightNAS pipeline at toy scale on one CPU core:
+
+1. build a (tiny) layer-wise search space,
+2. run the one-time hardware-constrained search — real bi-level supernet
+   training with single-path Gumbel sampling and a learned multiplier λ,
+3. retrain the derived architecture from scratch on the proxy task,
+4. report the achieved latency against the constraint.
+
+For the paper-scale space (L=22, 7^21 candidates), see
+``latency_constrained_imagenet.py``.
+"""
+
+import numpy as np
+
+from repro import LightNAS, LightNASConfig
+from repro.eval import train_standalone
+from repro.hardware import LatencyModel
+
+TARGET_MS = 2.3  # the tiny space spans roughly 2.15–2.45 ms
+
+
+def main() -> None:
+    config = LightNASConfig.tiny(latency_target_ms=TARGET_MS, seed=0,
+                                 epochs=12, steps_per_epoch=4, warmup_epochs=3)
+    space = config.space
+    print(f"search space: {space.num_layers} searchable layers × "
+          f"{space.num_operators} operators = {space.size:.0f} candidates")
+
+    engine = LightNAS(config)
+    print(f"\nsearching for an architecture with latency = {TARGET_MS} ms ...")
+    result = engine.search(verbose=True)
+
+    latency_model = LatencyModel(space)
+    true_latency = latency_model.latency_ms(result.architecture)
+    print(f"\nderived architecture : {space.describe(result.architecture)}")
+    print(f"predicted latency    : {result.predicted_metric:.3f} ms")
+    print(f"measured latency     : {true_latency:.3f} ms  (target {TARGET_MS} ms)")
+    print(f"learned λ            : {result.final_lambda:+.4f}")
+
+    print("\nretraining the derived architecture from scratch ...")
+    report = train_standalone(space, result.architecture, engine.task,
+                              epochs=10, batch_size=24, seed=0)
+    print(f"stand-alone validation accuracy: {report.valid_accuracy:.1%} "
+          f"(chance {1.0 / engine.task.num_classes:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Random search under a latency constraint — the sanity baseline.
+
+Samples architectures uniformly, keeps those whose predicted latency
+satisfies the target, and returns the feasible candidate with the best
+quick-evaluation accuracy.  Any method that does not beat this is not
+searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.result import SearchResult, SearchTrajectory
+from ..predictor.mlp import MLPPredictor
+from ..proxy.accuracy_model import AccuracyOracle
+from ..search_space.space import Architecture, SearchSpace
+
+__all__ = ["RandomSearchConfig", "RandomSearch"]
+
+
+@dataclass
+class RandomSearchConfig:
+    space: SearchSpace = field(default_factory=SearchSpace)
+    target: float = 24.0
+    num_samples: int = 1000
+    seed: int = 0
+
+
+class RandomSearch:
+    """Constraint-filtered random sampling."""
+
+    name = "random"
+
+    def __init__(self, config: RandomSearchConfig, predictor: MLPPredictor,
+                 oracle: Optional[AccuracyOracle] = None) -> None:
+        self.config = config
+        self.space = config.space
+        self.predictor = predictor
+        self.oracle = oracle or AccuracyOracle(self.space)
+        self.rng = np.random.default_rng(config.seed)
+
+    def search(self, verbose: bool = False) -> SearchResult:
+        cfg = self.config
+        trajectory = SearchTrajectory()
+        best: Optional[Architecture] = None
+        best_top1 = -np.inf
+        feasible = 0
+        for i in range(cfg.num_samples):
+            arch = self.space.sample(self.rng)
+            if self.predictor.predict_arch(arch) > cfg.target:
+                continue
+            feasible += 1
+            top1 = self.oracle.evaluate(arch, epochs=50).top1
+            if top1 > best_top1:
+                best, best_top1 = arch, top1
+                trajectory.record(i, self.predictor.predict_arch(arch), 0.0,
+                                  -top1, 0.0, arch)
+                if verbose:
+                    print(f"[random] sample {i:5d} new best top-1 {top1:.2f}")
+        if best is None:
+            raise RuntimeError(
+                f"no feasible architecture in {cfg.num_samples} samples for "
+                f"target {cfg.target}"
+            )
+        return SearchResult(
+            architecture=best,
+            predicted_metric=self.predictor.predict_arch(best),
+            target=cfg.target,
+            final_lambda=0.0,
+            trajectory=trajectory,
+            search_paths_per_step=self.space.num_layers,
+            num_search_steps=cfg.num_samples,
+            metric_name="latency_ms",
+        )

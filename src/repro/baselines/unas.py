@@ -1,0 +1,143 @@
+"""UNAS-style hybrid baseline (Vahdat et al., CVPR 2020 — Table 1/2's [10]).
+
+UNAS combines differentiable architecture search with reinforcement
+learning: the differentiable part handles the (reparameterisable) accuracy
+objective, while a REINFORCE estimator handles objectives that need not be
+differentiable — notably *measured* latency, so no predictor or LUT is
+required.  This implementation keeps that division of labour:
+
+* the accuracy term updates α through the Gumbel soft relaxation (as in
+  SNAS/FBNet);
+* the latency term updates α with a policy gradient: sample discrete
+  architectures from softmax(α), *measure* them on the device, and push α
+  by ``(measurement/T_norm) · ∇ log π`` with an exponential-moving-average
+  baseline for variance reduction;
+* the trade-off coefficient λ is fixed (UNAS, like FBNet/ProxylessNAS,
+  must be re-run to hit a specific latency — the implicit cost LightNAS
+  removes).
+
+On-device measurement inside the loop is what made UNAS's 103 GPU hours
+(Table 1) pricier than FBNet's per-run cost at similar step counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..core.gumbel import TemperatureSchedule
+from ..core.result import SearchResult, SearchTrajectory
+from ..hardware.latency import LatencyModel
+from ..proxy.accuracy_model import AccuracyOracle
+from ..search_space.space import Architecture, SearchSpace
+
+__all__ = ["UNASConfig", "UNASSearch"]
+
+
+@dataclass
+class UNASConfig:
+    """Hyper-parameters of the hybrid search."""
+
+    space: SearchSpace = field(default_factory=SearchSpace)
+    epochs: int = 60
+    steps_per_epoch: int = 30
+    alpha_lr: float = 1e-3
+    alpha_weight_decay: float = 1e-3
+    #: fixed trade-off coefficient on the normalised latency reward
+    latency_lambda: float = 0.1
+    #: latency normaliser (keeps the REINFORCE signal O(1))
+    latency_scale_ms: float = 24.0
+    #: discrete architectures measured per step for the policy gradient
+    samples_per_step: int = 2
+    baseline_momentum: float = 0.9
+    tau_initial: float = 5.0
+    tau_floor: float = 0.1
+    seed: int = 0
+
+
+class UNASSearch:
+    """Differentiable accuracy + REINFORCE latency, fixed λ."""
+
+    name = "unas"
+
+    def __init__(self, config: UNASConfig, latency_model: LatencyModel,
+                 oracle: Optional[AccuracyOracle] = None) -> None:
+        self.config = config
+        self.space = config.space
+        self.latency_model = latency_model
+        self.oracle = oracle or AccuracyOracle(self.space)
+        self.rng = np.random.default_rng(config.seed)
+        self.schedule = TemperatureSchedule(config.tau_initial, config.tau_floor,
+                                            config.epochs)
+
+    # ------------------------------------------------------------------
+    def _policy_gradient(self, probs: np.ndarray, baseline: float
+                         ) -> tuple[np.ndarray, float]:
+        """REINFORCE gradient of the expected normalised latency wrt α."""
+        cfg = self.config
+        grad = np.zeros_like(probs)
+        for _ in range(cfg.samples_per_step):
+            choices = [int(self.rng.choice(self.space.num_operators, p=row))
+                       for row in probs]
+            arch = Architecture(tuple(choices))
+            cost = self.latency_model.measure(arch, self.rng) / cfg.latency_scale_ms
+            advantage = cost - baseline
+            baseline = (cfg.baseline_momentum * baseline
+                        + (1 - cfg.baseline_momentum) * cost)
+            for layer, k in enumerate(choices):
+                # ∇_α log π = one_hot(k) − softmax(α) per layer
+                grad[layer] -= probs[layer] * advantage
+                grad[layer, k] += advantage
+        return grad / cfg.samples_per_step, baseline
+
+    def search(self, verbose: bool = False) -> SearchResult:
+        cfg = self.config
+        alpha = nn.Parameter(self.space.uniform_alpha(), name="alpha")
+        optimizer = nn.Adam([alpha], lr=cfg.alpha_lr,
+                            weight_decay=cfg.alpha_weight_decay)
+        trajectory = SearchTrajectory()
+        baseline = 1.0
+        steps = 0
+        measured_samples = 0
+
+        for epoch in range(cfg.epochs):
+            tau = self.schedule.at(epoch)
+            for _ in range(cfg.steps_per_epoch):
+                # differentiable accuracy term through the soft relaxation
+                log_probs = F.log_softmax(alpha, axis=-1)
+                noise = F.gumbel_noise(alpha.shape, self.rng)
+                weights = F.gumbel_softmax(log_probs, tau=tau, noise=noise)
+                loss = self.oracle.differentiable_loss(weights)
+                optimizer.zero_grad()
+                loss.backward()
+                # REINFORCE latency term added directly to the α gradient
+                probs = F.softmax(alpha, axis=-1).data
+                pg, baseline = self._policy_gradient(probs, baseline)
+                measured_samples += cfg.samples_per_step
+                alpha.grad = alpha.grad + cfg.latency_lambda * pg
+                optimizer.step()
+                steps += 1
+
+            arch = Architecture.from_alpha(alpha.data)
+            trajectory.record(epoch, self.latency_model.latency_ms(arch),
+                              cfg.latency_lambda, float(loss.data), tau, arch)
+            if verbose:
+                print(f"[unas] epoch {epoch:3d} "
+                      f"lat {trajectory.predicted_metric[-1]:.2f} ms")
+
+        arch = Architecture.from_alpha(alpha.data)
+        return SearchResult(
+            architecture=arch,
+            predicted_metric=self.latency_model.latency_ms(arch),
+            target=float("nan"),
+            final_lambda=cfg.latency_lambda,
+            trajectory=trajectory,
+            search_paths_per_step=(
+                self.space.num_layers * self.space.num_operators),
+            num_search_steps=steps,
+            metric_name="latency_ms",
+        )

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a downstream-usable surface without writing any code:
+
+* ``info``      — search-space / device summary.
+* ``search``    — one hardware-constrained search (latency, energy or MACs).
+* ``predict``   — predict all metrics for an architecture string.
+* ``evaluate``  — Table-2-style evaluation row for an architecture.
+* ``sweep``     — one search per target; prints the comparison table.
+
+Architectures are passed as comma-separated operator indices, e.g.
+``--arch 1,1,5,5,...`` (one per searchable layer), matching
+``Architecture.op_indices`` and the JSON emitted by ``search``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core.lightnas import LightNAS, LightNASConfig
+from .eval.imagenet import ImageNetEvaluator
+from .experiments.reporting import render_table
+from .experiments.shared import fit_energy_predictor, fit_latency_predictor
+from .hardware.energy import EnergyModel
+from .hardware.flops import count_macs, count_params
+from .hardware.latency import LatencyModel
+from .predictor.analytic import AnalyticCostPredictor
+from .proxy.accuracy_model import AccuracyOracle
+from .search_space.macro import MacroConfig
+from .search_space.space import Architecture, SearchSpace
+
+__all__ = ["main", "build_parser"]
+
+
+def _space(args) -> SearchSpace:
+    if getattr(args, "tiny", False):
+        return SearchSpace(MacroConfig.tiny())
+    return SearchSpace()
+
+
+def _parse_arch(text: str, space: SearchSpace) -> Architecture:
+    try:
+        arch = Architecture(tuple(int(x) for x in text.split(",")))
+    except ValueError as exc:
+        raise SystemExit(f"error: malformed --arch {text!r}: {exc}")
+    try:
+        space.validate(arch)
+    except ValueError as exc:
+        raise SystemExit(f"error: architecture does not fit the space: {exc}")
+    return arch
+
+
+def _metric_predictor(metric: str, space: SearchSpace,
+                      latency_model: LatencyModel,
+                      energy_model: EnergyModel):
+    # small (test/toy) spaces need far less campaign data than the paper's
+    # 10k protocol — keep the CLI responsive on them
+    samples = 1500 if space.num_layers <= 8 else 10_000
+    if metric == "latency":
+        predictor, _ = fit_latency_predictor(space, latency_model,
+                                             num_samples=samples)
+        return predictor
+    if metric == "energy":
+        predictor, _ = fit_energy_predictor(space, energy_model,
+                                            num_samples=samples)
+        return predictor
+    if metric == "macs":
+        return AnalyticCostPredictor(space, "macs_m")
+    raise SystemExit(f"error: unknown metric {metric!r}")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def cmd_info(args) -> int:
+    space = _space(args)
+    latency_model = LatencyModel(space)
+    device = latency_model.device
+    rows = [
+        ["searchable layers (L−1)", space.num_layers],
+        ["operators per layer (K)", space.num_operators],
+        ["space size |A|", f"{space.size:.3g}"],
+        ["input resolution", space.macro.input_resolution],
+        ["device", device.name],
+        ["batch size", device.batch_size],
+    ]
+    print(render_table(["property", "value"], rows, title="LightNAS space"))
+    return 0
+
+
+def cmd_search(args) -> int:
+    space = _space(args)
+    latency_model = LatencyModel(space)
+    energy_model = EnergyModel(space, latency_model=latency_model)
+    if args.tiny:
+        config = LightNASConfig.tiny(latency_target_ms=args.target,
+                                     seed=args.seed)
+        engine = LightNAS(config)
+    else:
+        predictor = _metric_predictor(args.metric, space, latency_model,
+                                      energy_model)
+        overrides = {}
+        if args.epochs:
+            overrides["epochs"] = args.epochs
+        config = LightNASConfig.paper(args.target, space=space, seed=args.seed,
+                                      metric_name=args.metric, **overrides)
+        engine = LightNAS(config, predictor=predictor)
+    result = engine.search(verbose=args.verbose)
+
+    payload = result.summary()
+    payload["true_latency_ms"] = latency_model.latency_ms(result.architecture)
+    payload["true_energy_mj"] = energy_model.energy_mj(result.architecture)
+    payload["macs_m"] = count_macs(space, result.architecture) / 1e6
+    print(json.dumps(payload, indent=2))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"saved to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    space = _space(args)
+    arch = _parse_arch(args.arch, space)
+    latency_model = LatencyModel(space)
+    energy_model = EnergyModel(space, latency_model=latency_model)
+    rows = [
+        ["latency (model)", f"{latency_model.latency_ms(arch):.3f} ms"],
+        ["energy (model)", f"{energy_model.energy_mj(arch):.1f} mJ"],
+        ["multi-adds", f"{count_macs(space, arch) / 1e6:.1f} M"],
+        ["parameters", f"{count_params(space, arch) / 1e6:.2f} M"],
+        ["depth (non-skip)", arch.depth(space.skip_index)],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title="architecture metrics"))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    space = _space(args)
+    arch = _parse_arch(args.arch, space)
+    evaluator = ImageNetEvaluator(space)
+    row = evaluator.evaluate(arch, name=args.name, with_se_last=args.se)
+    print(json.dumps(row.as_dict(), indent=2))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    space = _space(args)
+    latency_model = LatencyModel(space)
+    energy_model = EnergyModel(space, latency_model=latency_model)
+    predictor = _metric_predictor("latency", space, latency_model, energy_model)
+    oracle = AccuracyOracle(space)
+    targets = [float(t) for t in args.targets.split(",")]
+    rows = []
+    for target in targets:
+        config = LightNASConfig.paper(target, space=space, seed=args.seed)
+        result = LightNAS(config, predictor=predictor).search()
+        evaluation = oracle.evaluate(result.architecture)
+        rows.append([f"{target:g} ms",
+                     latency_model.latency_ms(result.architecture),
+                     evaluation.top1, evaluation.top5,
+                     ",".join(str(i) for i in result.architecture.op_indices)])
+    print(render_table(
+        ["target", "latency ms", "top-1 %", "top-5 %", "architecture"],
+        rows, title="one search per target — no λ tuning"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightNAS (DAC 2022) reproduction — one-time "
+                    "hardware-constrained differentiable NAS",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="search-space and device summary")
+    p_info.add_argument("--tiny", action="store_true")
+    p_info.set_defaults(func=cmd_info)
+
+    p_search = sub.add_parser("search", help="run one constrained search")
+    p_search.add_argument("--target", type=float, required=True,
+                          help="constraint value (ms, mJ or M MACs)")
+    p_search.add_argument("--metric", choices=("latency", "energy", "macs"),
+                          default="latency")
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--epochs", type=int, default=0,
+                          help="override search epochs (0 = paper default)")
+    p_search.add_argument("--tiny", action="store_true",
+                          help="toy space with real bi-level supernet training")
+    p_search.add_argument("--output", default="",
+                          help="also write the result JSON to this path")
+    p_search.add_argument("--verbose", action="store_true")
+    p_search.set_defaults(func=cmd_search)
+
+    p_predict = sub.add_parser("predict", help="predict metrics of an arch")
+    p_predict.add_argument("--arch", required=True,
+                           help="comma-separated operator indices")
+    p_predict.add_argument("--tiny", action="store_true")
+    p_predict.set_defaults(func=cmd_predict)
+
+    p_eval = sub.add_parser("evaluate", help="Table-2-style evaluation row")
+    p_eval.add_argument("--arch", required=True)
+    p_eval.add_argument("--name", default="custom")
+    p_eval.add_argument("--se", type=int, default=0,
+                        help="apply SE to the last N layers")
+    p_eval.add_argument("--tiny", action="store_true")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sweep = sub.add_parser("sweep", help="one search per latency target")
+    p_sweep.add_argument("--targets", required=True,
+                         help="comma-separated targets, e.g. 20,24,28")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--tiny", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

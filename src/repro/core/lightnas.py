@@ -1,0 +1,297 @@
+"""The LightNAS search engine (§3.3–3.4): you only search once.
+
+One search run takes a *hard* metric constraint T (latency in ms, or any
+metric with a fitted predictor) and returns an architecture whose predicted
+metric converges to T, with no manual λ tuning:
+
+* architecture parameters ``α`` are optimised by Adam *descent* on Eq. (10),
+* supernet weights ``w`` (supernet mode) by SGD descent,
+* the constraint multiplier ``λ`` by gradient *ascent* (Eq. 11).
+
+Two validation-loss modes share the engine:
+
+``mode="supernet"``
+    The paper's bi-level protocol: a real weight-sharing supernet is trained
+    on a (synthetic) proxy task; ``L_valid`` is cross-entropy of the sampled
+    single path on validation batches.  The first ``warmup_epochs`` update
+    only ``w`` (the paper freezes α for 10 of 90 epochs), then ``w`` and
+    ``α`` updates alternate every epoch.
+
+``mode="surrogate"``
+    ``L_valid`` is the differentiable capacity loss of the
+    :class:`repro.proxy.accuracy_model.AccuracyOracle` — the fast path used
+    by the full-space benchmarks, where training a 22-layer ImageNet
+    supernet on one CPU core is not an option.  The α/λ dynamics (the
+    paper's contribution) are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..predictor.dataset import collect_latency_dataset
+from ..predictor.mlp import MLPPredictor
+from ..hardware.latency import LatencyModel
+from ..proxy.accuracy_model import AccuracyOracle
+from ..proxy.dataset import SyntheticTask
+from ..proxy.supernet import SuperNet
+from ..search_space.macro import MacroConfig
+from ..search_space.space import Architecture, SearchSpace
+from .gumbel import GumbelSampler, TemperatureSchedule
+from .lambda_opt import LagrangeMultiplier
+from .objective import ConstrainedObjective
+from .result import SearchResult, SearchTrajectory
+
+__all__ = ["LightNASConfig", "LightNAS"]
+
+
+@dataclass
+class LightNASConfig:
+    """Configuration of one LightNAS run.
+
+    The defaults follow §4.1 where a setting exists in the paper (90
+    epochs, 10 warmup epochs, Adam(1e-3, wd 1e-3) for α, SGD(0.1, 0.9,
+    3e-5) for w, ascent lr 5e-4 for λ, τ: 5 → 0).
+    """
+
+    space: SearchSpace = field(default_factory=SearchSpace)
+    target: float = 24.0
+    metric_name: str = "latency_ms"
+    mode: str = "surrogate"
+
+    epochs: int = 90
+    steps_per_epoch: int = 30
+    warmup_epochs: int = 10
+    batch_size: int = 128
+
+    alpha_lr: float = 1e-3
+    alpha_weight_decay: float = 1e-3
+    w_lr: float = 0.1
+    w_momentum: float = 0.9
+    w_weight_decay: float = 3e-5
+    lambda_lr: float = 5e-4
+    lambda_initial: float = 0.0
+    #: augmented-Lagrangian damping weight (0 disables; see objective.py)
+    penalty_mu: float = 1.0
+
+    tau_initial: float = 5.0
+    tau_floor: float = 0.1
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("surrogate", "supernet"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.target <= 0:
+            raise ValueError("constraint target must be positive")
+        if self.epochs <= self.warmup_epochs and self.mode == "supernet":
+            raise ValueError("epochs must exceed warmup_epochs in supernet mode")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls, latency_target_ms: float, space: Optional[SearchSpace] = None,
+              seed: int = 0, **overrides) -> "LightNASConfig":
+        """Full-space configuration with the paper's hyper-parameters.
+
+        Uses surrogate mode by default (see module docstring); pass
+        ``mode="supernet"`` plus a task for the bi-level protocol.
+        """
+        defaults = dict(
+            space=space or SearchSpace(),
+            target=latency_target_ms,
+            epochs=90,
+            steps_per_epoch=50,
+            lambda_lr=0.01,
+            seed=seed,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def tiny(cls, latency_target_ms: float = 1.0, seed: int = 0,
+             mode: str = "supernet", **overrides) -> "LightNASConfig":
+        """Scaled-down configuration for tests / the quickstart example."""
+        defaults = dict(
+            space=SearchSpace(MacroConfig.tiny()),
+            target=latency_target_ms,
+            mode=mode,
+            epochs=16,
+            steps_per_epoch=4,
+            warmup_epochs=2,
+            batch_size=16,
+            lambda_lr=0.05,
+            seed=seed,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+class LightNAS:
+    """The one-time hardware-constrained differentiable search.
+
+    Parameters
+    ----------
+    config:
+        Run configuration.
+    predictor:
+        A fitted metric predictor.  If omitted, a latency predictor is
+        trained on a fresh simulated measurement campaign (1,500 samples —
+        enough for search-grade accuracy; the benchmarks use the full
+        10,000-sample protocol).
+    oracle:
+        Accuracy oracle for surrogate mode (defaults to the calibrated
+        ImageNet oracle of the config's space).
+    task:
+        Proxy classification task for supernet mode (defaults to a
+        :class:`SyntheticTask` matching the macro resolution).
+    """
+
+    def __init__(
+        self,
+        config: LightNASConfig,
+        predictor: Optional[MLPPredictor] = None,
+        oracle: Optional[AccuracyOracle] = None,
+        task: Optional[SyntheticTask] = None,
+    ) -> None:
+        self.config = config
+        self.space = config.space
+        self.rng = np.random.default_rng(config.seed)
+        self.predictor = predictor or self._default_predictor()
+        self.objective = ConstrainedObjective(self.predictor, config.target,
+                                              mu=config.penalty_mu)
+        self.oracle = oracle
+        self.task = task
+        self.supernet: Optional[SuperNet] = None
+        if config.mode == "surrogate" and self.oracle is None:
+            self.oracle = AccuracyOracle(self.space)
+        if config.mode == "supernet":
+            if self.task is None:
+                macro = self.space.macro
+                self.task = SyntheticTask(
+                    num_classes=macro.num_classes,
+                    resolution=macro.input_resolution,
+                    seed=config.seed,
+                )
+            self.supernet = SuperNet(self.space, self.rng)
+
+    def _default_predictor(self) -> MLPPredictor:
+        latency_model = LatencyModel(self.space)
+        campaign_rng = np.random.default_rng(self.config.seed + 101)
+        data = collect_latency_dataset(latency_model, 1500, campaign_rng)
+        train, valid = data.split(0.8, campaign_rng)
+        predictor = MLPPredictor(self.space, seed=self.config.seed)
+        predictor.fit(train, epochs=120, batch_size=256, lr=3e-3, weight_decay=0.0)
+        return predictor
+
+    # ------------------------------------------------------------------
+    def search(self, verbose: bool = False) -> SearchResult:
+        """Run the one-time search and return the derived architecture."""
+        cfg = self.config
+        alpha = nn.Parameter(self.space.uniform_alpha(), name="alpha")
+        alpha_opt = nn.Adam([alpha], lr=cfg.alpha_lr,
+                            weight_decay=cfg.alpha_weight_decay)
+        alpha_schedule = nn.CosineSchedule(cfg.alpha_lr, cfg.epochs,
+                                           final_lr=cfg.alpha_lr * 0.1)
+        lam = LagrangeMultiplier(lr=cfg.lambda_lr, initial=cfg.lambda_initial)
+        schedule = TemperatureSchedule(cfg.tau_initial, cfg.tau_floor, cfg.epochs)
+        sampler = GumbelSampler(schedule, self.rng)
+        trajectory = SearchTrajectory()
+
+        w_opt = None
+        w_schedule = None
+        if cfg.mode == "supernet":
+            w_opt = nn.SGD(self.supernet.parameters(), lr=cfg.w_lr,
+                           momentum=cfg.w_momentum, weight_decay=cfg.w_weight_decay)
+            w_schedule = nn.CosineSchedule(cfg.w_lr, cfg.epochs)
+
+        steps = 0
+        for epoch in range(cfg.epochs):
+            alpha_schedule.apply(alpha_opt, epoch)
+            if cfg.mode == "supernet":
+                w_schedule.apply(w_opt, epoch)
+                self._train_weights_epoch(sampler, alpha, w_opt, epoch)
+                if epoch >= cfg.warmup_epochs:
+                    steps += self._update_alpha_epoch(sampler, alpha, alpha_opt, lam,
+                                                      epoch)
+            else:
+                steps += self._update_alpha_epoch(sampler, alpha, alpha_opt, lam, epoch)
+
+            arch = sampler.derive_architecture(alpha)
+            predicted = self.predictor.predict_arch(arch)
+            loss_now = trajectory.valid_loss[-1] if trajectory.valid_loss else 0.0
+            trajectory.record(epoch, predicted, lam.value, loss_now,
+                              schedule.at(epoch), arch)
+            if verbose:
+                print(
+                    f"[lightnas] epoch {epoch:3d} metric {predicted:7.3f} "
+                    f"(target {cfg.target}) λ {lam.value:+.4f}"
+                )
+
+        arch = sampler.derive_architecture(alpha)
+        return SearchResult(
+            architecture=arch,
+            predicted_metric=self.predictor.predict_arch(arch),
+            target=cfg.target,
+            final_lambda=lam.value,
+            trajectory=trajectory,
+            search_paths_per_step=self.space.num_layers,
+            num_search_steps=steps,
+            metric_name=cfg.metric_name,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_weights_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
+                             w_opt: nn.Optimizer, epoch: int) -> None:
+        """One epoch of supernet weight training on the train fold."""
+        cfg = self.config
+        self.supernet.train(True)
+        for _ in range(cfg.steps_per_epoch):
+            batch = self.task.sample_batch(self.task.train, cfg.batch_size)
+            with nn.no_grad():
+                _, gates_const = sampler.sample_gates(alpha.detach(), epoch)
+            logits = self.supernet.forward_single_path(
+                nn.Tensor(batch.images), nn.Tensor(gates_const.data)
+            )
+            loss = F.cross_entropy(logits, batch.labels)
+            w_opt.zero_grad()
+            loss.backward()
+            w_opt.step()
+
+    def _update_alpha_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
+                            alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
+                            epoch: int) -> int:
+        """One epoch of α descent + λ ascent on the Eq. (10) objective."""
+        cfg = self.config
+        steps = 0
+        for _ in range(cfg.steps_per_epoch):
+            _, gates = sampler.sample_gates(alpha, epoch)
+            valid_loss = self._validation_loss(gates)
+            # The latency term uses the *deterministic* binarisation of α:
+            # Eq. (4) defines the architecture encoded by α as the per-layer
+            # argmax, so LAT(α) is the latency of that architecture, not of
+            # the Gumbel sample.  (With the sampled gates, λ's equilibrium
+            # pins the *expected* sampled latency to T while the derived
+            # argmax architecture systematically undershoots.)
+            _, det_gates = sampler.sample_gates(alpha, epoch, deterministic=True)
+            loss, _ = self.objective.loss(valid_loss, det_gates, lam.as_tensor())
+            alpha_opt.zero_grad()
+            lam.param.zero_grad()
+            loss.backward()
+            alpha_opt.step()
+            lam.ascend()
+            steps += 1
+        return steps
+
+    def _validation_loss(self, gates: nn.Tensor) -> nn.Tensor:
+        cfg = self.config
+        if cfg.mode == "surrogate":
+            return self.oracle.differentiable_loss(gates)
+        self.supernet.train(True)
+        batch = self.task.sample_batch(self.task.valid, cfg.batch_size)
+        logits = self.supernet.forward_single_path(nn.Tensor(batch.images), gates)
+        return F.cross_entropy(logits, batch.labels)

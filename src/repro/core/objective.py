@@ -1,0 +1,73 @@
+"""The constrained search objective of LightNAS (Eq. 10).
+
+::
+
+    L(w, α, λ) = L_valid(w*(α), α) + λ · (METRIC(α)/T − 1)
+
+``METRIC`` is any hardware metric with a differentiable predictor — the
+paper's headline experiments constrain latency (ms) and Figure 8 swaps in
+energy (mJ) without touching the search engine.  The normalisation by the
+target ``T`` makes the penalty dimensionless, so the same η_λ works across
+metrics and targets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .. import nn
+from ..predictor.mlp import MLPPredictor
+
+__all__ = ["ConstrainedObjective"]
+
+
+class ConstrainedObjective:
+    """Builds the Eq. (10) loss from its three ingredients.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted differentiable metric predictor (latency or energy).
+    target:
+        The hard constraint T, in the predictor's units.
+    """
+
+    def __init__(self, predictor: MLPPredictor, target: float,
+                 mu: float = 0.0) -> None:
+        if target <= 0:
+            raise ValueError(f"constraint target must be positive, got {target}")
+        if not predictor.fitted:
+            raise ValueError("the metric predictor must be fitted before searching")
+        if mu < 0:
+            raise ValueError("the augmented-Lagrangian weight μ must be >= 0")
+        self.predictor = predictor
+        self.target = float(target)
+        self.mu = float(mu)
+
+    def predicted_metric(self, gates: nn.Tensor) -> nn.Tensor:
+        """Differentiable METRIC(α): predictor applied to flattened P̄."""
+        flat = nn.ops.reshape(gates, (1, gates.shape[0] * gates.shape[1]))
+        return self.predictor.predict_tensor(flat)[0]
+
+    def loss(
+        self,
+        valid_loss: nn.Tensor,
+        gates: nn.Tensor,
+        lam: nn.Tensor,
+    ) -> Tuple[nn.Tensor, float]:
+        """Assemble the objective; returns ``(loss, predicted_metric)``.
+
+        ``lam`` stays on the tape so a single ``backward()`` yields the
+        descent gradients for α/w *and* the ascent gradient
+        ``∂L/∂λ = METRIC/T − 1`` for λ.
+        """
+        metric = self.predicted_metric(gates)
+        excess = metric * (1.0 / self.target) - 1.0
+        penalty = nn.ops.reshape(lam, ()) * excess
+        if self.mu > 0:
+            # Augmented-Lagrangian damping: the quadratic term adds a
+            # restoring force proportional to the constraint violation,
+            # suppressing the λ/latency oscillation of pure dual ascent
+            # without moving the LAT(α)=T fixed point.
+            penalty = penalty + excess * excess * (0.5 * self.mu)
+        return valid_loss + penalty, float(metric.data)

@@ -1,0 +1,77 @@
+"""Table-2-style ImageNet evaluation rows.
+
+Combines, for any architecture: oracle top-1/top-5 (the 360-epoch
+retraining substitute), simulated on-device latency, FLOPs/multi-adds, and
+parameter count — everything a Table 2 / Table 4 row needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.flops import arch_cost
+from ..hardware.latency import LatencyModel
+from ..proxy.accuracy_model import AccuracyOracle
+from ..search_space.space import Architecture, SearchSpace
+
+__all__ = ["ImageNetRow", "ImageNetEvaluator"]
+
+
+@dataclass(frozen=True)
+class ImageNetRow:
+    """One evaluation row (an architecture under a named method)."""
+
+    name: str
+    method: str
+    top1: float
+    top5: float
+    latency_ms: float
+    macs_m: float
+    params_m: float
+    search_cost_gpu_hours: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "method": self.method,
+            "top1": round(self.top1, 2),
+            "top5": round(self.top5, 2),
+            "latency_ms": round(self.latency_ms, 2),
+            "macs_m": round(self.macs_m, 1),
+            "params_m": round(self.params_m, 2),
+            "search_cost_gpu_hours": self.search_cost_gpu_hours,
+        }
+
+
+class ImageNetEvaluator:
+    """Evaluates architectures into :class:`ImageNetRow` records."""
+
+    def __init__(self, space: SearchSpace, latency_model: Optional[LatencyModel] = None,
+                 oracle: Optional[AccuracyOracle] = None) -> None:
+        self.space = space
+        self.latency_model = latency_model or LatencyModel(space)
+        self.oracle = oracle or AccuracyOracle(space)
+
+    def evaluate(
+        self,
+        arch: Architecture,
+        name: str,
+        method: str = "differentiable",
+        with_se_last: int = 0,
+        epochs: int = 360,
+        search_cost_gpu_hours: Optional[float] = None,
+    ) -> ImageNetRow:
+        """Full-protocol evaluation of one architecture."""
+        result = self.oracle.evaluate(arch, epochs=epochs, with_se=with_se_last > 0)
+        cost = arch_cost(self.space, arch, with_se_last=with_se_last)
+        return ImageNetRow(
+            name=name,
+            method=method,
+            top1=result.top1,
+            top5=result.top5,
+            latency_ms=self.latency_model.latency_ms(arch, with_se_last=with_se_last),
+            macs_m=cost.macs / 1e6,
+            params_m=cost.params / 1e6,
+            search_cost_gpu_hours=search_cost_gpu_hours,
+        )

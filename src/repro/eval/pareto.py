@@ -1,0 +1,96 @@
+"""Accuracy/latency Pareto-front analysis.
+
+Table 2 and Figure 9 are, structurally, claims about *Pareto dominance*:
+the searched LightNets should sit on (or define) the accuracy-latency
+frontier, with every baseline on or behind it.  This module provides the
+vocabulary to state and test that precisely:
+
+* :func:`pareto_front` — the non-dominated subset (maximise quality,
+  minimise cost);
+* :func:`dominates` — the strict-domination predicate;
+* :func:`hypervolume_2d` — the area dominated relative to a reference
+  point, the standard scalar summary of a 2-D front;
+* :func:`front_gap` — how far a point is behind a front (0 for points on
+  or above it), used to assert "LightNets define the frontier" in the
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FrontPoint", "dominates", "pareto_front", "hypervolume_2d",
+           "front_gap"]
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One candidate: a cost to minimise and a quality to maximise."""
+
+    cost: float        # e.g. latency in ms
+    quality: float     # e.g. top-1 %
+    name: str = ""
+
+
+def dominates(a: FrontPoint, b: FrontPoint) -> bool:
+    """True iff ``a`` is at least as good in both axes and better in one."""
+    return (a.cost <= b.cost and a.quality >= b.quality
+            and (a.cost < b.cost or a.quality > b.quality))
+
+
+def pareto_front(points: Sequence[FrontPoint]) -> List[FrontPoint]:
+    """The non-dominated subset, sorted by ascending cost.
+
+    Duplicate-coordinate points are kept once (the first occurrence wins).
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (p.cost, -p.quality))
+    front: List[FrontPoint] = []
+    best_quality = -np.inf
+    for point in ordered:
+        if point.quality > best_quality:
+            front.append(point)
+            best_quality = point.quality
+    return front
+
+
+def hypervolume_2d(points: Sequence[FrontPoint],
+                   reference: Tuple[float, float]) -> float:
+    """Area dominated by the front, relative to ``reference``.
+
+    ``reference`` is a (cost, quality) point that every candidate must
+    dominate (a worst-case corner: high cost, low quality).  Larger is
+    better; 0 for an empty front.
+    """
+    ref_cost, ref_quality = reference
+    front = [p for p in pareto_front(points)
+             if p.cost <= ref_cost and p.quality >= ref_quality]
+    if not front:
+        return 0.0
+    area = 0.0
+    # sweep from cheapest to costliest; each point owns the strip up to the
+    # next point's cost (or the reference cost for the last one)
+    for i, point in enumerate(front):
+        next_cost = front[i + 1].cost if i + 1 < len(front) else ref_cost
+        width = max(0.0, min(next_cost, ref_cost) - point.cost)
+        height = max(0.0, point.quality - ref_quality)
+        area += width * height
+    return float(area)
+
+
+def front_gap(point: FrontPoint, front: Sequence[FrontPoint]) -> float:
+    """Quality gap between ``point`` and the front at the same cost budget.
+
+    The front's quality at a cost ``c`` is the best quality among front
+    points with cost ≤ ``c`` (a step function).  Returns
+    ``max(0, front(c) − point.quality)``; 0 means the point matches or
+    extends the front at its budget.
+    """
+    eligible = [p.quality for p in front if p.cost <= point.cost]
+    if not eligible:
+        return 0.0
+    return float(max(0.0, max(eligible) - point.quality))

@@ -1,0 +1,25 @@
+"""`repro.experiments` — shared harness for the benchmark suite.
+
+Cached full-space experiment context (space + device + fitted predictors)
+and plain-text/JSON reporting utilities used by every ``benchmarks/bench_*``
+module.
+"""
+
+from .reporting import ascii_series, render_table, results_dir, save_json
+from .shared import (
+    ExperimentContext,
+    fit_energy_predictor,
+    fit_latency_predictor,
+    full_context,
+)
+
+__all__ = [
+    "render_table",
+    "ascii_series",
+    "save_json",
+    "results_dir",
+    "ExperimentContext",
+    "full_context",
+    "fit_latency_predictor",
+    "fit_energy_predictor",
+]

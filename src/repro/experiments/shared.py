@@ -1,0 +1,147 @@
+"""Shared experiment context with disk caching.
+
+Every benchmark needs the same substrate: the full search space, the
+simulated Xavier, the accuracy oracle, and a predictor trained on the
+10,000-architecture measurement campaign.  The campaign + fit takes ~40 s
+of CPU, so :func:`full_context` caches the fitted predictor weights under
+``benchmarks/results/cache`` keyed by the campaign seed; reruns load in
+milliseconds.  Delete the cache directory to force a fresh campaign.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.device import XAVIER_MAXN, DeviceProfile
+from ..hardware.energy import EnergyModel
+from ..hardware.latency import LatencyModel
+from ..predictor.dataset import collect_energy_dataset, collect_latency_dataset
+from ..predictor.mlp import MLPPredictor
+from ..proxy.accuracy_model import AccuracyOracle
+from ..search_space.space import SearchSpace
+from .reporting import results_dir
+
+__all__ = ["ExperimentContext", "full_context", "fit_latency_predictor",
+           "fit_energy_predictor"]
+
+CAMPAIGN_SIZE = 10_000
+CAMPAIGN_SEED = 42
+FIT_EPOCHS = 400
+FIT_BATCH = 512
+FIT_LR = 3e-3
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a full-space experiment needs."""
+
+    space: SearchSpace
+    device: DeviceProfile
+    latency_model: LatencyModel
+    energy_model: EnergyModel
+    oracle: AccuracyOracle
+    latency_predictor: MLPPredictor
+    latency_predictor_rmse: float
+
+
+def _device_fingerprint(device: DeviceProfile) -> str:
+    """Short hash of the device constants — changing the simulated hardware
+    must invalidate cached predictors fitted against the old profile."""
+    import hashlib
+
+    return hashlib.md5(repr(device).encode()).hexdigest()[:8]
+
+
+def _cache_path(name: str) -> str:
+    cache = os.path.join(results_dir(), "cache")
+    os.makedirs(cache, exist_ok=True)
+    return os.path.join(cache, name)
+
+
+def _save_predictor(predictor: MLPPredictor, path: str, rmse: float) -> None:
+    state = predictor.state_dict()
+    state["__rmse"] = np.array(rmse)
+    np.savez(path, **state)
+
+
+def _load_predictor(space: SearchSpace, path: str) -> Optional[tuple]:
+    if not os.path.exists(path):
+        return None
+    data = dict(np.load(path))
+    rmse = float(data.pop("__rmse"))
+    predictor = MLPPredictor(space)
+    predictor.load_state_dict(data)
+    return predictor, rmse
+
+
+def fit_latency_predictor(
+    space: SearchSpace,
+    latency_model: LatencyModel,
+    seed: int = CAMPAIGN_SEED,
+    num_samples: int = CAMPAIGN_SIZE,
+    use_cache: bool = True,
+) -> tuple:
+    """Fit (or load) the campaign latency predictor; returns (pred, rmse)."""
+    fingerprint = _device_fingerprint(latency_model.device)
+    path = _cache_path(f"latency_predictor_s{seed}_n{num_samples}_{fingerprint}.npz")
+    if use_cache:
+        cached = _load_predictor(space, path)
+        if cached is not None:
+            return cached
+    rng = np.random.default_rng(seed)
+    data = collect_latency_dataset(latency_model, num_samples, rng)
+    train, valid = data.split(0.8, rng)
+    predictor = MLPPredictor(space, seed=seed)
+    predictor.fit(train, epochs=FIT_EPOCHS, batch_size=FIT_BATCH, lr=FIT_LR,
+                  weight_decay=0.0)
+    rmse = predictor.rmse(valid)
+    _save_predictor(predictor, path, rmse)
+    return predictor, rmse
+
+
+def fit_energy_predictor(
+    space: SearchSpace,
+    energy_model: EnergyModel,
+    seed: int = CAMPAIGN_SEED,
+    num_samples: int = CAMPAIGN_SIZE,
+    use_cache: bool = True,
+) -> tuple:
+    """Fit (or load) the energy predictor of Figure 8; returns (pred, rmse)."""
+    fingerprint = _device_fingerprint(energy_model.device)
+    path = _cache_path(f"energy_predictor_s{seed}_n{num_samples}_{fingerprint}.npz")
+    if use_cache:
+        cached = _load_predictor(space, path)
+        if cached is not None:
+            return cached
+    rng = np.random.default_rng(seed)
+    data = collect_energy_dataset(energy_model, num_samples, rng)
+    train, valid = data.split(0.8, rng)
+    predictor = MLPPredictor(space, seed=seed)
+    predictor.fit(train, epochs=FIT_EPOCHS, batch_size=FIT_BATCH, lr=FIT_LR,
+                  weight_decay=0.0)
+    rmse = predictor.rmse(valid)
+    _save_predictor(predictor, path, rmse)
+    return predictor, rmse
+
+
+def full_context(use_cache: bool = True) -> ExperimentContext:
+    """The standard full-space experiment context (cached predictor)."""
+    space = SearchSpace()
+    device = XAVIER_MAXN
+    latency_model = LatencyModel(space, device)
+    energy_model = EnergyModel(space, device, latency_model=latency_model)
+    predictor, rmse = fit_latency_predictor(space, latency_model,
+                                            use_cache=use_cache)
+    return ExperimentContext(
+        space=space,
+        device=device,
+        latency_model=latency_model,
+        energy_model=energy_model,
+        oracle=AccuracyOracle(space),
+        latency_predictor=predictor,
+        latency_predictor_rmse=rmse,
+    )

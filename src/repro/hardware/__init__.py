@@ -1,0 +1,33 @@
+"""`repro.hardware` — simulated embedded platform (replaces Jetson AGX Xavier).
+
+Analytic FLOPs/params counters, a roofline latency model with per-kernel
+overheads and fusion effects, an energy model with temperature-drifting
+measurements, and the additive latency-LUT baseline the paper compares its
+MLP predictor against.
+"""
+
+from .device import EDGE_NANO, XAVIER_MAXN, DeviceProfile
+from .energy import EnergyMeter, EnergyModel
+from .flops import OpCost, arch_cost, count_macs, count_params, fixed_cost, op_cost
+from .latency import LatencyModel
+from .lut import LatencyLUT
+from .measurement import MeasurementProtocol, MeasurementReport, measure_latency_campaign
+
+__all__ = [
+    "DeviceProfile",
+    "XAVIER_MAXN",
+    "EDGE_NANO",
+    "LatencyModel",
+    "EnergyModel",
+    "EnergyMeter",
+    "LatencyLUT",
+    "MeasurementProtocol",
+    "MeasurementReport",
+    "measure_latency_campaign",
+    "OpCost",
+    "op_cost",
+    "fixed_cost",
+    "arch_cost",
+    "count_macs",
+    "count_params",
+]

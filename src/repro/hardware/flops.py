@@ -1,0 +1,162 @@
+"""FLOPs, parameter, and memory-traffic counters.
+
+These are *analytic* counters over the search-space geometry (they do not
+instantiate any weights), so they are exact and fast enough to call for
+millions of architectures.  They serve three purposes:
+
+* the Figure-2 experiment (FLOPs is a poor latency/energy proxy),
+* the mobile-setting check of §4.1 (multi-adds under 600M),
+* inputs to the roofline latency/energy models in
+  :mod:`repro.hardware.latency` / :mod:`repro.hardware.energy`.
+
+Conventions: "MACs" counts multiply-accumulates; FLOPs = 2 × MACs.  Memory
+traffic counts reads of input activations + weights plus writes of output
+activations, in bytes, assuming 16-bit storage (the deployment datatype on
+the simulated device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..search_space.macro import LayerGeometry, MacroConfig
+from ..search_space.operators import OperatorSpec
+from ..search_space.space import Architecture, SearchSpace
+
+__all__ = ["OpCost", "op_cost", "fixed_cost", "arch_cost", "count_macs", "count_params"]
+
+BYTES_PER_VALUE = 2  # fp16 deployment datatype
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Compute / parameter / memory cost of one network piece.
+
+    Attributes
+    ----------
+    macs:
+        Multiply-accumulate operations for a batch-1 forward pass.
+    params:
+        Learnable parameter count.
+    mem_bytes:
+        Activation + weight traffic in bytes for a batch-1 forward pass.
+    """
+
+    macs: int
+    params: int
+    mem_bytes: int
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.macs + other.macs,
+            self.params + other.params,
+            self.mem_bytes + other.mem_bytes,
+        )
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @staticmethod
+    def zero() -> "OpCost":
+        return OpCost(0, 0, 0)
+
+
+def _conv_cost(in_ch: int, out_ch: int, kernel: int, in_res: int, stride: int,
+               groups: int = 1) -> OpCost:
+    """Cost of one conv + its activation traffic (bias-free, as built)."""
+    out_res = in_res // stride
+    kernel_params = (in_ch // groups) * out_ch * kernel * kernel
+    macs = kernel_params * out_res * out_res
+    mem = BYTES_PER_VALUE * (
+        in_ch * in_res * in_res        # read input
+        + kernel_params                 # read weights
+        + out_ch * out_res * out_res    # write output
+    )
+    return OpCost(macs=macs, params=kernel_params, mem_bytes=mem)
+
+
+def _bn_cost(channels: int, resolution: int) -> OpCost:
+    """BatchNorm: 2C params, elementwise traffic, negligible MACs."""
+    mem = BYTES_PER_VALUE * 2 * channels * resolution * resolution
+    return OpCost(macs=0, params=2 * channels, mem_bytes=mem)
+
+
+def op_cost(spec: OperatorSpec, geom: LayerGeometry, with_se: bool = False) -> OpCost:
+    """Cost of one searchable-layer candidate at a given geometry."""
+    if spec.is_skip:
+        if geom.stride == 1 and geom.in_channels == geom.out_channels:
+            return OpCost.zero()
+        # Typed skip: 1×1 strided projection + BN.
+        return _conv_cost(geom.in_channels, geom.out_channels, 1, geom.in_resolution,
+                          geom.stride) + _bn_cost(geom.out_channels, geom.out_resolution)
+
+    hidden = geom.in_channels * spec.expansion
+    expand = _conv_cost(geom.in_channels, hidden, 1, geom.in_resolution, 1)
+    expand = expand + _bn_cost(hidden, geom.in_resolution)
+    depthwise = _conv_cost(hidden, hidden, spec.kernel_size, geom.in_resolution,
+                           geom.stride, groups=hidden)
+    depthwise = depthwise + _bn_cost(hidden, geom.out_resolution)
+    project = _conv_cost(hidden, geom.out_channels, 1, geom.out_resolution, 1)
+    project = project + _bn_cost(geom.out_channels, geom.out_resolution)
+    total = expand + depthwise + project
+    if with_se:
+        reduced = max(1, hidden // 4)
+        se_params = hidden * reduced * 2 + reduced + hidden
+        total = total + OpCost(
+            macs=se_params, params=se_params,
+            mem_bytes=BYTES_PER_VALUE * (se_params + 2 * hidden),
+        )
+    return total
+
+
+def fixed_cost(macro: MacroConfig) -> OpCost:
+    """Cost of the non-searchable parts: stem, first bottleneck, head."""
+    res = macro.input_resolution
+    stem = _conv_cost(3, macro.stem_channels, 3, res, 2)
+    stem = stem + _bn_cost(macro.stem_channels, res // 2)
+    # Fixed first bottleneck (MobileNetV2 convention: expansion 1).
+    res2 = res // 2
+    first_dw = _conv_cost(macro.stem_channels, macro.stem_channels, 3, res2, 1,
+                          groups=macro.stem_channels)
+    first_pw = _conv_cost(macro.stem_channels, macro.first_layer_channels, 1, res2, 1)
+    first = first_dw + _bn_cost(macro.stem_channels, res2) + first_pw + _bn_cost(
+        macro.first_layer_channels, res2
+    )
+    final_res = macro.searchable_layers()[-1].out_resolution
+    last_ch = macro.stages[-1][0]
+    head_conv = _conv_cost(last_ch, macro.head_channels, 1, final_res, 1)
+    head_conv = head_conv + _bn_cost(macro.head_channels, final_res)
+    classifier_params = macro.head_channels * macro.num_classes + macro.num_classes
+    classifier = OpCost(
+        macs=macro.head_channels * macro.num_classes,
+        params=classifier_params,
+        mem_bytes=BYTES_PER_VALUE * (classifier_params + macro.head_channels
+                                     + macro.num_classes),
+    )
+    return stem + first + head_conv + classifier
+
+
+def arch_cost(space: SearchSpace, arch: Architecture, with_se_last: int = 0) -> OpCost:
+    """Total cost of an architecture, including the fixed parts.
+
+    ``with_se_last`` applies Squeeze-and-Excitation to the last *n*
+    searchable layers (Table-4 ablation applies it to the last nine).
+    """
+    space.validate(arch)
+    total = fixed_cost(space.macro)
+    geoms = space.layer_geometries()
+    se_start = len(geoms) - with_se_last
+    for i, (geom, op_index) in enumerate(zip(geoms, arch.op_indices)):
+        total = total + op_cost(space.operators[op_index], geom, with_se=i >= se_start)
+    return total
+
+
+def count_macs(space: SearchSpace, arch: Architecture) -> int:
+    """Multiply-accumulates of a batch-1 forward pass (paper: "multi-adds")."""
+    return arch_cost(space, arch).macs
+
+
+def count_params(space: SearchSpace, arch: Architecture) -> int:
+    """Learnable parameter count of the stand-alone network."""
+    return arch_cost(space, arch).params

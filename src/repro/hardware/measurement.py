@@ -1,0 +1,156 @@
+"""Realistic on-device measurement campaigns.
+
+The paper's predictor pipeline rests on "measure the inference latency on
+Nvidia Jetson AGX Xavier" for 10,000 architectures — an operation that, on
+real silicon, is never a single timer read.  This module models the
+measurement *protocol* around the raw simulated device:
+
+* **warmup** inferences (discarded) so clocks/caches settle,
+* ``trials`` repeated timed inferences,
+* robust aggregation (median, or trimmed mean) with outlier rejection,
+* occasional **outlier spikes** injected by the harness itself
+  (a background daemon waking up on the device), so the robust aggregation
+  actually earns its keep,
+* a :class:`MeasurementReport` carrying the spread statistics a careful
+  practitioner records.
+
+:class:`MeasurementProtocol` is deliberately independent of what it measures
+— it takes any ``sample()`` callable — so the same protocol wraps latency
+and energy, at any batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from ..search_space.space import Architecture
+from .latency import LatencyModel
+
+__all__ = ["MeasurementReport", "MeasurementProtocol", "measure_latency_campaign"]
+
+
+@dataclass(frozen=True)
+class MeasurementReport:
+    """Aggregated result of one measurement run."""
+
+    value: float          # robust aggregate, the number the predictor sees
+    mean: float
+    std: float
+    trials: int
+    outliers_rejected: int
+
+    @property
+    def relative_std(self) -> float:
+        return self.std / self.mean if self.mean else float("inf")
+
+
+class MeasurementProtocol:
+    """Warmup + repeated trials + robust aggregation.
+
+    Parameters
+    ----------
+    warmup:
+        Discarded leading samples.
+    trials:
+        Timed samples aggregated into the reported value.
+    aggregate:
+        ``"median"`` (default) or ``"trimmed_mean"`` (drop the top/bottom
+        10 % before averaging).
+    outlier_sigma:
+        Samples further than this many (robust) standard deviations from
+        the median are rejected before aggregation; ``None`` disables.
+    spike_probability / spike_scale:
+        The harness's own interference model: each trial is, with this
+        probability, inflated by ``spike_scale``× (e.g. a background task
+        stealing the accelerator).  Defaults keep spikes rare but real.
+    """
+
+    def __init__(
+        self,
+        warmup: int = 3,
+        trials: int = 10,
+        aggregate: Literal["median", "trimmed_mean"] = "median",
+        outlier_sigma: Optional[float] = 4.0,
+        spike_probability: float = 0.02,
+        spike_scale: float = 1.5,
+    ) -> None:
+        if warmup < 0 or trials < 1:
+            raise ValueError("need warmup >= 0 and trials >= 1")
+        if aggregate not in ("median", "trimmed_mean"):
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        if not 0.0 <= spike_probability < 1.0:
+            raise ValueError("spike_probability must be in [0, 1)")
+        self.warmup = warmup
+        self.trials = trials
+        self.aggregate = aggregate
+        self.outlier_sigma = outlier_sigma
+        self.spike_probability = spike_probability
+        self.spike_scale = spike_scale
+
+    # ------------------------------------------------------------------
+    def run(self, sample: Callable[[], float], rng: np.random.Generator
+            ) -> MeasurementReport:
+        """Execute the protocol around a raw single-measurement callable."""
+        for _ in range(self.warmup):
+            sample()
+        raw = []
+        for _ in range(self.trials):
+            value = sample()
+            if self.spike_probability and rng.uniform() < self.spike_probability:
+                value *= self.spike_scale
+            raw.append(value)
+        samples = np.asarray(raw, dtype=np.float64)
+
+        kept = samples
+        rejected = 0
+        if self.outlier_sigma is not None and len(samples) >= 3:
+            median = np.median(samples)
+            # robust scale: median absolute deviation → σ estimate
+            mad = np.median(np.abs(samples - median))
+            scale = 1.4826 * mad
+            if scale > 0:
+                mask = np.abs(samples - median) <= self.outlier_sigma * scale
+                rejected = int((~mask).sum())
+                if mask.any():
+                    kept = samples[mask]
+
+        if self.aggregate == "median":
+            value = float(np.median(kept))
+        else:
+            drop = max(1, len(kept) // 10) if len(kept) >= 5 else 0
+            ordered = np.sort(kept)
+            trimmed = ordered[drop: len(ordered) - drop] if drop else ordered
+            value = float(trimmed.mean())
+
+        return MeasurementReport(
+            value=value,
+            mean=float(kept.mean()),
+            std=float(kept.std()),
+            trials=self.trials,
+            outliers_rejected=rejected,
+        )
+
+
+def measure_latency_campaign(
+    latency_model: LatencyModel,
+    archs: Sequence[Architecture],
+    rng: np.random.Generator,
+    protocol: Optional[MeasurementProtocol] = None,
+) -> List[MeasurementReport]:
+    """Measure a batch of architectures under a full protocol.
+
+    This is the careful version of
+    :meth:`repro.hardware.latency.LatencyModel.measure_many` — slower
+    (``warmup + trials`` device inferences per architecture) but robust to
+    interference spikes, matching how a real 10k campaign is run overnight.
+    """
+    protocol = protocol or MeasurementProtocol()
+    reports = []
+    for arch in archs:
+        reports.append(
+            protocol.run(lambda a=arch: latency_model.measure(a, rng), rng)
+        )
+    return reports

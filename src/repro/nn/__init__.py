@@ -1,0 +1,36 @@
+"""`repro.nn` — a from-scratch numpy autodiff / neural-network substrate.
+
+This subpackage replaces PyTorch for the LightNAS reproduction: a taped
+reverse-mode :class:`Tensor`, the differentiable ops required by the paper's
+equations (including grouped/depthwise convolution and the Gumbel-Softmax
+straight-through machinery), module containers, and the exact optimizers the
+paper's training recipes call for.
+"""
+
+from . import functional, init, ops, optim
+from .modules import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    ReLU6,
+    Sequential,
+    Sigmoid,
+    SqueezeExcite,
+)
+from .optim import SGD, Adam, CosineSchedule, GradientAscent, Optimizer
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "functional", "ops", "optim", "init",
+    "Module", "Parameter", "Sequential", "Identity", "Linear", "Conv2d",
+    "BatchNorm2d", "ReLU", "ReLU6", "Sigmoid", "Dropout", "GlobalAvgPool",
+    "Flatten", "SqueezeExcite",
+    "Optimizer", "SGD", "Adam", "GradientAscent", "CosineSchedule",
+]

@@ -1,0 +1,38 @@
+"""Weight initialisers for :mod:`repro.nn` modules.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+experiment in the reproduction is seeded end to end (single-run determinism
+is what makes the benchmark tables stable across machines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "xavier_uniform", "zeros", "ones"]
+
+
+def kaiming_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation: ``N(0, sqrt(2 / fan_in))``.
+
+    The standard choice for ReLU-family networks (the MBConv blocks of the
+    LightNAS space use ReLU6 throughout).
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation for linear layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,449 @@
+"""Differentiable operations for :class:`repro.nn.Tensor`.
+
+Each function builds the forward value with numpy and registers a backward
+closure returning ``(parent, gradient_contribution)`` pairs.  Importing this
+module attaches the Python operator overloads (``+``, ``*``, ``@`` …) to
+:class:`Tensor`; :mod:`repro.nn` performs that import, so users never need to
+import this module directly.
+
+Convolution is implemented with im2col/col2im, supporting stride, symmetric
+padding and grouped kernels (which covers the depthwise convolutions used by
+the MBConv operators of the LightNAS search space).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
+    "matmul", "sum_", "mean", "clip", "relu", "relu6", "sigmoid", "tanh",
+    "reshape", "transpose", "concat", "pad2d", "conv2d", "avg_pool_global",
+    "maximum", "getitem", "stack", "dropout_mask",
+]
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def add(a: Tensor, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data + b.data
+
+    def backward(grad):
+        return [(a, _unbroadcast(grad, a.shape)), (b, _unbroadcast(grad, b.shape))]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def sub(a: Tensor, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data - b.data
+
+    def backward(grad):
+        return [(a, _unbroadcast(grad, a.shape)), (b, _unbroadcast(-grad, b.shape))]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def mul(a: Tensor, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data * b.data
+
+    def backward(grad):
+        return [
+            (a, _unbroadcast(grad * b.data, a.shape)),
+            (b, _unbroadcast(grad * a.data, b.shape)),
+        ]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def div(a: Tensor, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data / b.data
+
+    def backward(grad):
+        return [
+            (a, _unbroadcast(grad / b.data, a.shape)),
+            (b, _unbroadcast(-grad * a.data / (b.data ** 2), b.shape)),
+        ]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    out = -a.data
+
+    def backward(grad):
+        return [(a, -grad)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def pow_(a: Tensor, exponent: float) -> Tensor:
+    """Raise to a constant power (the exponent is not differentiated)."""
+    exponent = float(exponent)
+    out = a.data ** exponent
+
+    def backward(grad):
+        return [(a, grad * exponent * a.data ** (exponent - 1.0))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out = np.exp(a.data)
+
+    def backward(grad):
+        return [(a, grad * out)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out = np.log(a.data)
+
+    def backward(grad):
+        return [(a, grad / a.data)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    out = np.sqrt(a.data)
+
+    def backward(grad):
+        return [(a, grad * 0.5 / out)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def maximum(a: Tensor, b) -> Tensor:
+    """Elementwise maximum; ties route the gradient to the first argument."""
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad):
+        return [
+            (a, _unbroadcast(grad * a_wins, a.shape)),
+            (b, _unbroadcast(grad * ~a_wins, b.shape)),
+        ]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp to ``[low, high]``; gradient is 1 strictly inside the band."""
+    out = np.clip(a.data, low, high)
+    inside = (a.data > low) & (a.data < high)
+
+    def backward(grad):
+        return [(a, grad * inside)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    out = np.maximum(a.data, 0.0)
+    mask = a.data > 0.0
+
+    def backward(grad):
+        return [(a, grad * mask)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def relu6(a: Tensor) -> Tensor:
+    """ReLU6, the activation used throughout MobileNetV2-style blocks."""
+    return clip(a, 0.0, 6.0)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return [(a, grad * out * (1.0 - out))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out = np.tanh(a.data)
+
+    def backward(grad):
+        return [(a, grad * (1.0 - out ** 2))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def dropout_mask(a: Tensor, mask: np.ndarray, scale: float) -> Tensor:
+    """Multiply by a fixed 0/1 mask and rescale (inverted dropout)."""
+    out = a.data * mask * scale
+
+    def backward(grad):
+        return [(a, grad * mask * scale)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra and reductions
+# ----------------------------------------------------------------------
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data @ b.data
+
+    def backward(grad):
+        if a.data.ndim == 1 and b.data.ndim == 1:  # inner product
+            return [(a, grad * b.data), (b, grad * a.data)]
+        if a.data.ndim == 1:  # (k,) @ (k, n)
+            return [(a, grad @ b.data.T), (b, np.outer(a.data, grad))]
+        if b.data.ndim == 1:  # (m, k) @ (k,)
+            return [(a, np.outer(grad, b.data)), (b, a.data.T @ grad)]
+        ga = grad @ np.swapaxes(b.data, -1, -2)
+        gb = np.swapaxes(a.data, -1, -2) @ grad
+        return [(a, _unbroadcast(ga, a.shape)), (b, _unbroadcast(gb, b.shape))]
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % a.data.ndim for ax in axes)
+            g = np.expand_dims(g, axis=tuple(sorted(axes)))
+        return [(a, np.broadcast_to(g, a.shape))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([a.data.shape[ax] for ax in axes]))
+    return sum_(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+
+def reshape(a: Tensor, shape) -> Tensor:
+    out = a.data.reshape(shape)
+
+    def backward(grad):
+        return [(a, grad.reshape(a.shape))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def transpose(a: Tensor, axes=None) -> Tensor:
+    out = np.transpose(a.data, axes)
+
+    def backward(grad):
+        inverse = None if axes is None else np.argsort(axes)
+        return [(a, np.transpose(grad, inverse))]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    out = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return [(a, full)]
+
+    return Tensor._make(out, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pairs = []
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            pairs.append((t, grad[tuple(index)]))
+        return pairs
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        slices = np.split(grad, len(tensors), axis=axis)
+        return [(t, np.squeeze(s, axis=axis)) for t, s in zip(tensors, slices)]
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def pad2d(a: Tensor, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    if padding == 0:
+        return a
+    p = int(padding)
+    out = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad):
+        return [(a, grad[:, :, p:-p, p:-p])]
+
+    return Tensor._make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Convolution (im2col) and pooling
+# ----------------------------------------------------------------------
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Extract sliding windows: (N, C, H, W) -> (N, C, kh, kw, OH, OW)."""
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add windows back to the image."""
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, i, j, :, :
+            ]
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution on NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernels of shape ``(C_out, C_in // groups, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Symmetric stride/zero padding on both spatial axes.
+    groups:
+        Number of channel groups; ``groups == C_in`` with ``C_out == C_in``
+        gives a depthwise convolution.
+    """
+    if padding:
+        x = pad2d(x, padding)
+
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in_g * groups != c_in:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {c_in} channels, "
+            f"weight expects {c_in_g}×{groups} groups"
+        )
+    if c_out % groups != 0:
+        raise ValueError(f"c_out={c_out} not divisible by groups={groups}")
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    co_g = c_out // groups
+
+    cols = _im2col(x.data, kh, kw, stride)  # (N, C, kh, kw, OH, OW)
+    # Group the channel axis: (N, G, C_in_g*kh*kw, OH*OW)
+    cols_g = cols.reshape(n, groups, c_in_g, kh, kw, oh, ow)
+    cols_mat = cols_g.transpose(0, 1, 5, 6, 2, 3, 4).reshape(n, groups, oh * ow, c_in_g * kh * kw)
+    w_mat = weight.data.reshape(groups, co_g, c_in_g * kh * kw)
+
+    # (n, g, oh*ow, co_g) = (n, g, oh*ow, ckk) @ (g, ckk, co_g)
+    out_mat = np.einsum("ngpk,gok->ngpo", cols_mat, w_mat, optimize=True)
+    out = out_mat.transpose(0, 1, 3, 2).reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, groups, co_g, oh * ow).transpose(0, 1, 3, 2)  # n,g,p,o
+        # dW: (g, o, k) = sum_n,p grad (n,g,p,o) * cols (n,g,p,k)
+        gw = np.einsum("ngpo,ngpk->gok", grad_mat, cols_mat, optimize=True)
+        gw = gw.reshape(c_out, c_in_g, kh, kw)
+        # dX columns: (n,g,p,k) = grad (n,g,p,o) @ w (g,o,k)
+        gcols_mat = np.einsum("ngpo,gok->ngpk", grad_mat, w_mat, optimize=True)
+        gcols = gcols_mat.reshape(n, groups, oh, ow, c_in_g, kh, kw)
+        gcols = gcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(n, c_in, kh, kw, oh, ow)
+        gx = _col2im(gcols, (n, c_in, h, w), kh, kw, stride)
+        pairs = [(x, gx), (weight, gw)]
+        if bias is not None:
+            pairs.append((bias, grad.sum(axis=(0, 2, 3))))
+        return pairs
+
+    return Tensor._make(out, parents, backward)
+
+
+def avg_pool_global(x: Tensor) -> Tensor:
+    """Global average pooling: ``(N, C, H, W) -> (N, C)``."""
+    return mean(x, axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Operator overloads
+# ----------------------------------------------------------------------
+
+Tensor.__add__ = lambda self, other: add(self, other)
+Tensor.__radd__ = lambda self, other: add(_as_tensor(other), self)
+Tensor.__sub__ = lambda self, other: sub(self, other)
+Tensor.__rsub__ = lambda self, other: sub(_as_tensor(other), self)
+Tensor.__mul__ = lambda self, other: mul(self, other)
+Tensor.__rmul__ = lambda self, other: mul(_as_tensor(other), self)
+Tensor.__truediv__ = lambda self, other: div(self, other)
+Tensor.__rtruediv__ = lambda self, other: div(_as_tensor(other), self)
+Tensor.__neg__ = neg
+Tensor.__pow__ = pow_
+Tensor.__matmul__ = matmul
+Tensor.__getitem__ = getitem
+
+Tensor.sum = sum_
+Tensor.mean = mean
+Tensor.reshape = reshape
+Tensor.transpose = transpose
+Tensor.exp = exp
+Tensor.log = log
+Tensor.sqrt = sqrt

@@ -1,0 +1,181 @@
+"""Optimizers and learning-rate schedules.
+
+Implements exactly the optimisation recipe of LightNAS §4.1:
+
+* :class:`SGD` with momentum and decoupled weight decay — used for the
+  supernet weights ``w`` (lr 0.1, momentum 0.9, wd 3e-5, cosine anneal).
+* :class:`Adam` — used for the architecture parameters ``α``
+  (lr 1e-3, wd 1e-3).
+* :class:`GradientAscent` — used for the constraint multiplier ``λ``
+  (fixed lr 5e-4, *ascent*, Eq. 11).
+* :class:`CosineSchedule` with linear warmup — the evaluation protocol warms
+  up from 0.1 to 0.5 over 5 epochs then cosine-decays to zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "GradientAscent", "CosineSchedule"]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and L2 weight decay.
+
+    ``v ← μ v + (g + wd·p)``; ``p ← p − lr·v``.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and L2 weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class GradientAscent(Optimizer):
+    """Plain gradient *ascent*: ``p ← p + lr · grad``.
+
+    LightNAS uses this for the trade-off multiplier ``λ`` (Eq. 11), whose
+    gradient is ``LAT(α)/T − 1``; ascending λ when latency exceeds the
+    target strengthens the latency penalty, closing the loop that drives
+    ``LAT(α) → T``.
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float, floor: Optional[float] = 0.0) -> None:
+        super().__init__(params, lr)
+        self.floor = floor
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            p.data = p.data + self.lr * p.grad
+            if self.floor is not None:
+                p.data = np.maximum(p.data, self.floor)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay with optional linear warmup.
+
+    Parameters
+    ----------
+    base_lr:
+        Peak learning rate reached at the end of warmup.
+    total_steps:
+        Number of steps over which to decay to ``final_lr``.
+    warmup_steps / warmup_start_lr:
+        Linear ramp from ``warmup_start_lr`` to ``base_lr`` over the first
+        ``warmup_steps`` steps (the paper warms 0.1 → 0.5 over 5 epochs).
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        warmup_steps: int = 0,
+        warmup_start_lr: float = 0.0,
+        final_lr: float = 0.0,
+    ) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be smaller than total_steps")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.warmup_start_lr = warmup_start_lr
+        self.final_lr = final_lr
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for 0-indexed ``step`` (clamped to the schedule)."""
+        step = max(0, min(step, self.total_steps))
+        if self.warmup_steps and step < self.warmup_steps:
+            frac = step / self.warmup_steps
+            return self.warmup_start_lr + frac * (self.base_lr - self.warmup_start_lr)
+        span = self.total_steps - self.warmup_steps
+        progress = (step - self.warmup_steps) / span
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_lr + (self.base_lr - self.final_lr) * cos
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for ``step`` and return it."""
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr

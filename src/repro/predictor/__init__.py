@@ -1,0 +1,31 @@
+"""`repro.predictor` — the MLP latency/energy predictor of LightNAS §3.2.
+
+Measurement-campaign datasets (10k architectures, 80/20 split), the
+128-64-1 MLP itself (differentiable through :mod:`repro.nn`, so the search
+engine can backpropagate ``∂LAT/∂ᾱ``), and evaluation metrics.
+"""
+
+from .analytic import AnalyticCostPredictor
+from .dataset import (
+    PredictorDataset,
+    collect_energy_dataset,
+    collect_latency_dataset,
+    encode_architectures,
+)
+from .metrics import kendall_tau, mae, max_error, rmse, spearman_rho
+from .mlp import MLPPredictor, TrainingLog
+
+__all__ = [
+    "AnalyticCostPredictor",
+    "PredictorDataset",
+    "collect_latency_dataset",
+    "collect_energy_dataset",
+    "encode_architectures",
+    "MLPPredictor",
+    "TrainingLog",
+    "rmse",
+    "mae",
+    "max_error",
+    "kendall_tau",
+    "spearman_rho",
+]

@@ -1,0 +1,125 @@
+"""Strict-fairness supernet training (FairNAS, the paper's reference [11]).
+
+LightNAS §3.3 argues its single-path mechanism "forces the search process to
+strictly satisfy the equality principle [11], i.e., the supernet and the
+searched sub-network should be trained in the same manner".  FairNAS's
+*strict fairness* goes one step further for the weight-training phase: in
+every round, each layer's K candidate operators must receive **exactly one**
+gradient update each.  This is achieved by sampling K single-path models per
+round whose per-layer choices form a permutation of the K candidates, and
+accumulating their gradients into one optimizer step.
+
+:class:`StrictFairnessTrainer` implements that protocol on our
+:class:`~repro.proxy.supernet.SuperNet`; it is used by the warmup/weight
+phase when unbiased operator strength estimates matter (e.g. before α
+updates begin), and by tests that verify the fairness invariant exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..search_space.space import Architecture
+from .dataset import SyntheticTask
+from .supernet import SuperNet
+
+__all__ = ["FairnessReport", "StrictFairnessTrainer"]
+
+
+@dataclass
+class FairnessReport:
+    """Bookkeeping of one training run's operator updates."""
+
+    #: update_counts[l][k]: gradient updates received by operator k of layer l
+    update_counts: np.ndarray
+    rounds: int
+    mean_loss: float
+
+    @property
+    def is_strictly_fair(self) -> bool:
+        """True iff every operator of every layer got equally many updates."""
+        return bool(np.all(self.update_counts == self.update_counts[0, 0]))
+
+
+class StrictFairnessTrainer:
+    """FairNAS strict-fairness weight training for a supernet.
+
+    Parameters
+    ----------
+    supernet:
+        The weight-sharing supernet to train.
+    task:
+        Proxy classification task supplying minibatches.
+    optimizer:
+        Optimizer over the supernet's parameters; stepped once per *round*
+        (i.e. once per K accumulated single-path backward passes).
+    rng:
+        Permutation/batch sampling source.
+    """
+
+    def __init__(self, supernet: SuperNet, task: SyntheticTask,
+                 optimizer: nn.Optimizer, rng: np.random.Generator) -> None:
+        self.supernet = supernet
+        self.task = task
+        self.optimizer = optimizer
+        self.rng = rng
+        self.space = supernet.space
+
+    # ------------------------------------------------------------------
+    def sample_fair_round(self) -> List[Architecture]:
+        """K single-path models whose layer choices tile all K candidates.
+
+        Per layer, an independent random permutation of ``range(K)`` is
+        drawn; model *i* uses the i-th element of each layer's permutation.
+        Hence across the K models each candidate of each layer appears
+        exactly once — FairNAS's strict-fairness condition.
+        """
+        K = self.space.num_operators
+        permutations = [self.rng.permutation(K) for _ in range(self.space.num_layers)]
+        return [
+            Architecture(tuple(int(perm[i]) for perm in permutations))
+            for i in range(K)
+        ]
+
+    def train_round(self, batch_size: int) -> float:
+        """One strict-fairness round: K accumulated paths, one step."""
+        self.optimizer.zero_grad()
+        total_loss = 0.0
+        for arch in self.sample_fair_round():
+            batch = self.task.sample_batch(self.task.train, batch_size)
+            logits = self.supernet.forward_arch(nn.Tensor(batch.images), arch)
+            loss = F.cross_entropy(logits, batch.labels)
+            loss.backward()  # gradients accumulate across the K paths
+            total_loss += loss.item()
+        self.optimizer.step()
+        return total_loss / self.space.num_operators
+
+    def train(self, rounds: int, batch_size: int = 16) -> FairnessReport:
+        """Run ``rounds`` strict-fairness rounds and report update counts."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        counts = np.zeros((self.space.num_layers, self.space.num_operators),
+                          dtype=np.int64)
+        losses = []
+        for _ in range(rounds):
+            # counts are implied by construction; verified via the sample
+            archs = self.sample_fair_round()
+            self.optimizer.zero_grad()
+            round_loss = 0.0
+            for arch in archs:
+                for layer, k in enumerate(arch.op_indices):
+                    counts[layer, k] += 1
+                batch = self.task.sample_batch(self.task.train, batch_size)
+                logits = self.supernet.forward_arch(nn.Tensor(batch.images), arch)
+                loss = F.cross_entropy(logits, batch.labels)
+                loss.backward()
+                round_loss += loss.item()
+            self.optimizer.step()
+            losses.append(round_loss / self.space.num_operators)
+        return FairnessReport(update_counts=counts, rounds=rounds,
+                              mean_loss=float(np.mean(losses)))

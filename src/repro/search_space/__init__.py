@@ -1,0 +1,31 @@
+"""`repro.search_space` — the LightNAS layer-wise architecture space (§3.1).
+
+MobileNetV2-based operator vocabulary (MBConv kernel {3,5,7} × expansion
+{3,6} + SkipConnect, K = 7), the FBNet-style 22-layer macro layout
+(first layer fixed ⇒ 7^21 ≈ 5.6×10^17 candidates), and the
+:class:`Architecture` encoding used everywhere else in the system.
+"""
+
+from .macro import LayerGeometry, MacroConfig
+from .operators import (
+    LIGHTNAS_OPERATORS,
+    SKIP_INDEX,
+    MBConv,
+    OperatorSpec,
+    SkipConnect,
+    build_operator,
+)
+from .space import Architecture, SearchSpace
+
+__all__ = [
+    "LayerGeometry",
+    "MacroConfig",
+    "OperatorSpec",
+    "LIGHTNAS_OPERATORS",
+    "SKIP_INDEX",
+    "MBConv",
+    "SkipConnect",
+    "build_operator",
+    "Architecture",
+    "SearchSpace",
+]

@@ -1,0 +1,201 @@
+"""Architecture encoding and the :class:`SearchSpace` container.
+
+An :class:`Architecture` is the discrete object the whole system revolves
+around: a choice of one operator per searchable layer.  It is exactly the
+sparse matrix ``ᾱ ∈ {0,1}^{L×K}`` of Eq. (4) — :meth:`Architecture.one_hot`
+produces that matrix, and it is the input representation of the MLP
+latency/energy predictor (§3.2).
+
+:class:`SearchSpace` binds the operator vocabulary to a macro layout and
+provides sampling, encoding/decoding and (de)serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .macro import LayerGeometry, MacroConfig
+from .operators import LIGHTNAS_OPERATORS, SKIP_INDEX, OperatorSpec
+
+__all__ = ["Architecture", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """An immutable point of the search space.
+
+    Attributes
+    ----------
+    op_indices:
+        Tuple of operator indices (into the space's operator list), one per
+        searchable layer.
+    """
+
+    op_indices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.op_indices:
+            raise ValueError("an architecture needs at least one layer")
+        if any(i < 0 for i in self.op_indices):
+            raise ValueError("operator indices must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.op_indices)
+
+    # ------------------------------------------------------------------
+    # Encodings
+    # ------------------------------------------------------------------
+    def one_hot(self, num_operators: int) -> np.ndarray:
+        """The paper's ᾱ matrix: shape ``(L, K)`` with one 1 per row."""
+        if max(self.op_indices) >= num_operators:
+            raise ValueError("operator index out of range for this space")
+        out = np.zeros((len(self.op_indices), num_operators), dtype=np.float64)
+        out[np.arange(len(self.op_indices)), self.op_indices] = 1.0
+        return out
+
+    @staticmethod
+    def from_one_hot(matrix: np.ndarray) -> "Architecture":
+        """Inverse of :meth:`one_hot` (validates exact one-hot rows)."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("one-hot encoding must be a 2-D matrix")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0) or not np.all((matrix == 0) | (matrix == 1)):
+            raise ValueError("matrix rows must be exactly one-hot")
+        return Architecture(tuple(int(i) for i in matrix.argmax(axis=1)))
+
+    @staticmethod
+    def from_alpha(alpha: np.ndarray) -> "Architecture":
+        """Eq. (4): discretise architecture parameters by per-row argmax."""
+        alpha = np.asarray(alpha)
+        if alpha.ndim != 2:
+            raise ValueError("alpha must be an (L, K) matrix")
+        return Architecture(tuple(int(i) for i in alpha.argmax(axis=1)))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"op_indices": list(self.op_indices)})
+
+    @staticmethod
+    def from_json(payload: str) -> "Architecture":
+        data = json.loads(payload)
+        return Architecture(tuple(int(i) for i in data["op_indices"]))
+
+    # ------------------------------------------------------------------
+    # Structural summaries (used for the Figure-6 analysis)
+    # ------------------------------------------------------------------
+    def depth(self, skip_index: int = SKIP_INDEX) -> int:
+        """Number of layers that are *not* SkipConnect."""
+        return sum(1 for i in self.op_indices if i != skip_index)
+
+    def mutate(self, rng: np.random.Generator, num_operators: int,
+               num_mutations: int = 1) -> "Architecture":
+        """Return a copy with ``num_mutations`` random layer changes."""
+        indices = list(self.op_indices)
+        for _ in range(num_mutations):
+            layer = int(rng.integers(len(indices)))
+            choices = [k for k in range(num_operators) if k != indices[layer]]
+            indices[layer] = int(rng.choice(choices))
+        return Architecture(tuple(indices))
+
+
+class SearchSpace:
+    """The LightNAS layer-wise search space: operators × macro layout.
+
+    Parameters
+    ----------
+    macro:
+        Stage layout; defaults to the paper's L = 22 configuration.
+    operators:
+        Candidate vocabulary; defaults to the paper's K = 7 list.
+    """
+
+    def __init__(
+        self,
+        macro: Optional[MacroConfig] = None,
+        operators: Optional[Sequence[OperatorSpec]] = None,
+    ) -> None:
+        self.macro = macro or MacroConfig.lightnas()
+        self.operators: List[OperatorSpec] = list(operators or LIGHTNAS_OPERATORS)
+        self._layers = self.macro.searchable_layers()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of searchable layers (21 in the paper's full space)."""
+        return len(self._layers)
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.operators)
+
+    @property
+    def skip_index(self) -> int:
+        for i, op in enumerate(self.operators):
+            if op.is_skip:
+                return i
+        raise ValueError("this space has no SkipConnect operator")
+
+    @property
+    def size(self) -> float:
+        """|A| = K^L (≈ 5.6×10^17 for the paper's space)."""
+        return float(self.num_operators) ** self.num_layers
+
+    def layer_geometries(self) -> List[LayerGeometry]:
+        return list(self._layers)
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Architecture:
+        """Uniformly sample one architecture."""
+        return Architecture(
+            tuple(int(i) for i in rng.integers(self.num_operators, size=self.num_layers))
+        )
+
+    def sample_many(self, count: int, rng: np.random.Generator,
+                    unique: bool = False) -> List[Architecture]:
+        """Sample ``count`` architectures, optionally de-duplicated."""
+        if not unique:
+            return [self.sample(rng) for _ in range(count)]
+        seen = set()
+        out: List[Architecture] = []
+        # The space is astronomically larger than any sample we draw, so
+        # rejection sampling terminates immediately in practice; the guard
+        # below protects tiny test spaces.
+        max_tries = 100 * count
+        tries = 0
+        while len(out) < count and tries < max_tries:
+            arch = self.sample(rng)
+            tries += 1
+            if arch.op_indices not in seen:
+                seen.add(arch.op_indices)
+                out.append(arch)
+        if len(out) < count:
+            raise ValueError(
+                f"could not draw {count} unique architectures from a space of size {self.size}"
+            )
+        return out
+
+    def validate(self, arch: Architecture) -> None:
+        """Raise if ``arch`` does not type-check against this space."""
+        if len(arch) != self.num_layers:
+            raise ValueError(
+                f"architecture has {len(arch)} layers, space expects {self.num_layers}"
+            )
+        if max(arch.op_indices) >= self.num_operators:
+            raise ValueError("architecture references an unknown operator")
+
+    def describe(self, arch: Architecture) -> List[str]:
+        """Human-readable per-layer operator names (Figure-6 style)."""
+        self.validate(arch)
+        return [str(self.operators[i]) for i in arch.op_indices]
+
+    # ------------------------------------------------------------------
+    def uniform_alpha(self) -> np.ndarray:
+        """The α initialisation: all-zeros ⇒ uniform operator distribution."""
+        return np.zeros((self.num_layers, self.num_operators), dtype=np.float64)

@@ -1,0 +1,78 @@
+"""Model zoo: reference architectures and weight serialisation.
+
+``LIGHTNETS`` pins the LightNets searched by this reproduction's own
+pipeline (full-space surrogate mode, seed 1, the cached 10k-campaign
+predictor) — the architectures behind the Table-2/3/4 and Figure-6/9
+benchmarks.  Pinning them here makes results citable and lets downstream
+users evaluate or fine-tune the searched networks without re-running the
+search.
+
+Reference baselines (the uniform MobileNetV2 stack and the extreme corner
+points) are defined alongside, and :func:`save_weights` /
+:func:`load_weights` round-trip any :class:`repro.nn.Module` through an
+``.npz`` file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from . import nn
+from .search_space.operators import SKIP_INDEX
+from .search_space.space import Architecture, SearchSpace
+
+__all__ = [
+    "LIGHTNETS",
+    "MOBILENET_V2",
+    "SMALLEST",
+    "LARGEST",
+    "ALL_SKIP",
+    "lightnet",
+    "save_weights",
+    "load_weights",
+]
+
+#: LightNets searched at each Table-2 latency target (ms → architecture).
+#: Provenance: LightNAS surrogate mode, seed 1, paper hyper-parameters,
+#: simulated Xavier MAXN batch 8; measured latencies 20.05 / 21.82 / 23.83 /
+#: 26.30 / 28.35 / 29.99 ms.
+LIGHTNETS: Dict[float, Architecture] = {
+    20.0: Architecture((2, 0, 0, 0, 4, 4, 4, 4, 5, 1, 3, 1, 1, 1, 1, 1, 5, 1, 3, 1, 3)),
+    22.0: Architecture((2, 1, 0, 1, 4, 4, 4, 4, 5, 1, 3, 1, 3, 1, 1, 1, 5, 1, 3, 1, 3)),
+    24.0: Architecture((1, 1, 1, 1, 5, 4, 4, 4, 5, 1, 3, 1, 3, 1, 1, 1, 5, 5, 3, 3, 3)),
+    26.0: Architecture((1, 1, 1, 1, 5, 5, 5, 4, 5, 1, 3, 1, 3, 1, 1, 1, 5, 5, 3, 5, 5)),
+    28.0: Architecture((4, 1, 1, 1, 5, 5, 5, 5, 5, 1, 1, 3, 3, 1, 1, 1, 5, 5, 3, 5, 3)),
+    30.0: Architecture((4, 1, 1, 2, 5, 5, 5, 5, 5, 5, 3, 3, 3, 1, 1, 1, 5, 5, 3, 5, 5)),
+}
+
+#: The manual baseline: MobileNetV2 stacks ``mbconv_k3_e6`` uniformly.
+MOBILENET_V2 = Architecture((1,) * 21)
+
+#: Corner points of the space (useful for calibration and bounds checks).
+SMALLEST = Architecture((0,) * 21)   # all mbconv_k3_e3
+LARGEST = Architecture((5,) * 21)    # all mbconv_k7_e6
+ALL_SKIP = Architecture((SKIP_INDEX,) * 21)
+
+
+def lightnet(target_ms: float) -> Architecture:
+    """The reference LightNet for a Table-2 target (20/22/24/26/28/30 ms)."""
+    try:
+        return LIGHTNETS[float(target_ms)]
+    except KeyError:
+        raise KeyError(
+            f"no reference LightNet for {target_ms} ms; "
+            f"available targets: {sorted(LIGHTNETS)}"
+        ) from None
+
+
+def save_weights(module: nn.Module, path: str) -> None:
+    """Persist a module's parameters and buffers to ``path`` (.npz)."""
+    np.savez(path, **module.state_dict())
+
+
+def load_weights(module: nn.Module, path: str) -> None:
+    """Load parameters saved by :func:`save_weights` (strict shapes/keys)."""
+    data = np.load(path)
+    module.load_state_dict({key: data[key] for key in data.files})

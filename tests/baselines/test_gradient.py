@@ -1,0 +1,130 @@
+"""Tests of the gradient-based baselines (DARTS/SNAS/FBNet/Proxyless)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines.gradient import (
+    DARTSSearch,
+    FBNetSearch,
+    GradientNASConfig,
+    ProxylessSearch,
+    SNASSearch,
+)
+from repro.proxy.accuracy_model import AccuracyOracle
+
+
+@pytest.fixture
+def tiny_cfg(tiny_space):
+    return GradientNASConfig(space=tiny_space, epochs=8, steps_per_epoch=4, seed=0)
+
+
+class TestDARTS:
+    def test_multi_path_complexity(self, tiny_space, tiny_cfg, tiny_oracle):
+        result = DARTSSearch(tiny_cfg, tiny_oracle).search()
+        assert result.search_paths_per_step == (
+            tiny_space.num_layers * tiny_space.num_operators)
+
+    def test_relaxation_is_softmax(self, tiny_space, tiny_cfg, tiny_oracle):
+        engine = DARTSSearch(tiny_cfg, tiny_oracle)
+        alpha = nn.Tensor(np.random.default_rng(0).normal(
+            size=(tiny_space.num_layers, tiny_space.num_operators)))
+        weights = engine.relax(alpha, 0).data
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+        # deterministic: same α gives same weights
+        assert np.allclose(weights, engine.relax(alpha, 0).data)
+
+    def test_accuracy_only_prefers_capacity(self, tiny_space, tiny_oracle):
+        cfg = GradientNASConfig(space=tiny_space, epochs=25, steps_per_epoch=8,
+                                seed=0)
+        result = DARTSSearch(cfg, tiny_oracle).search()
+        # with no latency term, DARTS should end with zero skip layers
+        assert result.architecture.depth(tiny_space.skip_index) == \
+            tiny_space.num_layers
+
+    def test_metric_name_none(self, tiny_cfg, tiny_oracle):
+        assert DARTSSearch(tiny_cfg, tiny_oracle).search().metric_name == "none"
+
+
+class TestSNAS:
+    def test_stochastic_relaxation(self, tiny_space, tiny_cfg, tiny_oracle):
+        engine = SNASSearch(tiny_cfg, tiny_oracle)
+        alpha = nn.Tensor(np.zeros((tiny_space.num_layers,
+                                    tiny_space.num_operators)))
+        w1 = engine.relax(alpha, 0).data
+        w2 = engine.relax(alpha, 0).data
+        assert not np.allclose(w1, w2)  # Gumbel noise differs per call
+        assert np.allclose(w1.sum(axis=-1), 1.0)
+
+    def test_multi_path(self, tiny_space, tiny_cfg, tiny_oracle):
+        result = SNASSearch(tiny_cfg, tiny_oracle).search()
+        assert result.search_paths_per_step == (
+            tiny_space.num_layers * tiny_space.num_operators)
+
+
+class TestFBNet:
+    def test_needs_predictor_when_lambda_positive(self, tiny_space, tiny_oracle):
+        cfg = GradientNASConfig(space=tiny_space, latency_lambda=0.1)
+        with pytest.raises(ValueError):
+            FBNetSearch(cfg, tiny_oracle, predictor=None)
+
+    def test_lambda_zero_runs_without_predictor(self, tiny_cfg, tiny_oracle):
+        result = FBNetSearch(tiny_cfg, tiny_oracle).search()
+        assert result.final_lambda == 0.0
+
+    def test_lambda_controls_latency_tradeoff(self, tiny_space, tiny_oracle,
+                                              tiny_predictor, tiny_latency_model):
+        """The Figure-3 mechanism: larger fixed λ ⇒ lower searched latency."""
+        latencies = []
+        for lam in (0.0, 3.0):
+            cfg = GradientNASConfig(space=tiny_space, epochs=20,
+                                    steps_per_epoch=8, latency_lambda=lam, seed=1)
+            result = FBNetSearch(cfg, tiny_oracle, tiny_predictor).search()
+            latencies.append(tiny_latency_model.latency_ms(result.architecture))
+        assert latencies[1] <= latencies[0]
+
+    def test_huge_lambda_collapses_to_skip(self, tiny_space, tiny_oracle,
+                                           tiny_predictor):
+        """The λ>threshold collapse of Figure 3: the latency term dominates
+        and the search fills the network with SkipConnect."""
+        cfg = GradientNASConfig(space=tiny_space, epochs=25, steps_per_epoch=8,
+                                latency_lambda=100.0, seed=1)
+        result = FBNetSearch(cfg, tiny_oracle, tiny_predictor).search()
+        depth = result.architecture.depth(tiny_space.skip_index)
+        assert depth < tiny_space.num_layers  # skips appeared
+
+    def test_records_fixed_lambda(self, tiny_space, tiny_oracle, tiny_predictor):
+        cfg = GradientNASConfig(space=tiny_space, epochs=3, steps_per_epoch=2,
+                                latency_lambda=0.25, seed=0)
+        result = FBNetSearch(cfg, tiny_oracle, tiny_predictor).search()
+        assert result.final_lambda == 0.25
+
+
+class TestProxyless:
+    def test_two_path_complexity(self, tiny_space, tiny_cfg, tiny_oracle):
+        result = ProxylessSearch(tiny_cfg, tiny_oracle).search()
+        assert result.search_paths_per_step == 2 * tiny_space.num_layers
+
+    def test_relaxation_activates_two_paths_per_layer(self, tiny_space, tiny_cfg,
+                                                      tiny_oracle):
+        engine = ProxylessSearch(tiny_cfg, tiny_oracle)
+        alpha = nn.Tensor(np.zeros((tiny_space.num_layers,
+                                    tiny_space.num_operators)))
+        weights = engine.relax(alpha, 0).data
+        assert ((weights > 0).sum(axis=-1) == 2).all()
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+
+
+class TestCommon:
+    def test_trajectory_recorded_per_epoch(self, tiny_cfg, tiny_oracle):
+        result = DARTSSearch(tiny_cfg, tiny_oracle).search()
+        assert len(result.trajectory) == tiny_cfg.epochs
+
+    def test_architecture_valid(self, tiny_space, tiny_cfg, tiny_oracle):
+        for cls in (DARTSSearch, SNASSearch, ProxylessSearch):
+            result = cls(tiny_cfg, tiny_oracle).search()
+            tiny_space.validate(result.architecture)
+
+    def test_step_count(self, tiny_cfg, tiny_oracle):
+        result = DARTSSearch(tiny_cfg, tiny_oracle).search()
+        assert result.num_search_steps == tiny_cfg.epochs * tiny_cfg.steps_per_epoch

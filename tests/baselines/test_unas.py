@@ -1,0 +1,69 @@
+"""Tests of the UNAS-style hybrid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.unas import UNASConfig, UNASSearch
+from repro.search_space.space import Architecture
+
+
+@pytest.fixture
+def tiny_unas_cfg(tiny_space):
+    return UNASConfig(space=tiny_space, epochs=10, steps_per_epoch=5,
+                      latency_scale_ms=2.3, seed=0)
+
+
+class TestUNAS:
+    def test_architecture_valid(self, tiny_space, tiny_unas_cfg,
+                                tiny_latency_model, tiny_oracle):
+        result = UNASSearch(tiny_unas_cfg, tiny_latency_model,
+                            tiny_oracle).search()
+        tiny_space.validate(result.architecture)
+
+    def test_lambda_controls_latency(self, tiny_space, tiny_latency_model,
+                                     tiny_oracle):
+        """Like every fixed-λ method: a heavier latency weight gives a
+        faster network (the trade-off LightNAS automates away)."""
+        latencies = []
+        for lam in (0.0, 5.0):
+            cfg = UNASConfig(space=tiny_space, epochs=18, steps_per_epoch=8,
+                             latency_lambda=lam, latency_scale_ms=2.3, seed=1)
+            result = UNASSearch(cfg, tiny_latency_model, tiny_oracle).search()
+            latencies.append(tiny_latency_model.latency_ms(result.architecture))
+        assert latencies[1] <= latencies[0]
+
+    def test_policy_gradient_direction(self, full_space, full_latency_model,
+                                       full_oracle):
+        """The REINFORCE estimate must (in expectation) point toward cheaper
+        operators: on the full space (where per-operator latency differences
+        dominate measurement noise), the mean gradient on the most expensive
+        candidate exceeds the mean gradient on skip."""
+        cfg = UNASConfig(space=full_space, samples_per_step=150,
+                         latency_scale_ms=24.0, seed=2)
+        engine = UNASSearch(cfg, full_latency_model, full_oracle)
+        probs = np.full((full_space.num_layers, full_space.num_operators),
+                        1.0 / full_space.num_operators)
+        grad, _ = engine._policy_gradient(probs, baseline=1.0)
+        # ascending this gradient increases expected latency ⇒ the search
+        # *subtracts* it scaled by λ; expensive k7e6 (index 5) must carry a
+        # larger mean gradient than skip (index 6)
+        assert grad[:, 5].mean() > grad[:, 6].mean()
+        assert grad[:, 5].mean() > grad[:, 0].mean()  # and than k3e3
+
+    def test_trajectory_and_counts(self, tiny_unas_cfg, tiny_latency_model,
+                                   tiny_oracle):
+        result = UNASSearch(tiny_unas_cfg, tiny_latency_model,
+                            tiny_oracle).search()
+        assert len(result.trajectory) == tiny_unas_cfg.epochs
+        assert result.num_search_steps == (
+            tiny_unas_cfg.epochs * tiny_unas_cfg.steps_per_epoch)
+        assert result.final_lambda == tiny_unas_cfg.latency_lambda
+
+    def test_accuracy_only_mode_prefers_capacity(self, tiny_space,
+                                                 tiny_latency_model,
+                                                 tiny_oracle):
+        cfg = UNASConfig(space=tiny_space, epochs=20, steps_per_epoch=8,
+                         latency_lambda=0.0, latency_scale_ms=2.3, seed=3)
+        result = UNASSearch(cfg, tiny_latency_model, tiny_oracle).search()
+        assert result.architecture.depth(tiny_space.skip_index) == \
+            tiny_space.num_layers

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Expensive substrates (fitted predictors, the full-space latency model) are
+session-scoped; tests that need a *search* use the tiny macro configuration
+so the whole suite stays fast on one CPU core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import LatencyModel
+from repro.predictor.dataset import collect_latency_dataset
+from repro.predictor.mlp import MLPPredictor
+from repro.proxy.accuracy_model import AccuracyOracle
+from repro.proxy.dataset import SyntheticTask
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_space():
+    return SearchSpace(MacroConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def full_space():
+    return SearchSpace()
+
+
+@pytest.fixture(scope="session")
+def tiny_latency_model(tiny_space):
+    return LatencyModel(tiny_space)
+
+
+@pytest.fixture(scope="session")
+def full_latency_model(full_space):
+    return LatencyModel(full_space)
+
+
+@pytest.fixture(scope="session")
+def full_energy_model(full_space, full_latency_model):
+    return EnergyModel(full_space, latency_model=full_latency_model)
+
+
+@pytest.fixture(scope="session")
+def tiny_oracle(tiny_space):
+    return AccuracyOracle(tiny_space)
+
+
+@pytest.fixture(scope="session")
+def full_oracle(full_space):
+    return AccuracyOracle(full_space)
+
+
+@pytest.fixture(scope="session")
+def tiny_predictor(tiny_space, tiny_latency_model):
+    """A quickly-fitted latency predictor on the tiny space."""
+    rng = np.random.default_rng(11)
+    data = collect_latency_dataset(tiny_latency_model, 600, rng)
+    train, valid = data.split(0.8, rng)
+    predictor = MLPPredictor(tiny_space, hidden=(64, 32), seed=0)
+    predictor.fit(train, epochs=120, batch_size=128, lr=3e-3, weight_decay=0.0)
+    return predictor
+
+
+@pytest.fixture(scope="session")
+def full_predictor(full_space, full_latency_model):
+    """A search-grade (not campaign-grade) full-space latency predictor."""
+    rng = np.random.default_rng(12)
+    data = collect_latency_dataset(full_latency_model, 2500, rng)
+    train, valid = data.split(0.8, rng)
+    predictor = MLPPredictor(full_space, seed=0)
+    predictor.fit(train, epochs=150, batch_size=256, lr=3e-3, weight_decay=0.0)
+    return predictor
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_space):
+    macro = tiny_space.macro
+    return SyntheticTask(
+        num_classes=macro.num_classes,
+        resolution=macro.input_resolution,
+        train_size=96,
+        valid_size=48,
+        seed=3,
+    )

@@ -1,0 +1,135 @@
+"""Tests of the LightNAS engine: config validation and search behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.hardware.latency import LatencyModel
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        cfg = LightNASConfig()
+        assert cfg.epochs == 90
+        assert cfg.warmup_epochs == 10
+        assert cfg.alpha_lr == 1e-3
+        assert cfg.alpha_weight_decay == 1e-3
+        assert cfg.w_lr == 0.1
+        assert cfg.w_momentum == 0.9
+        assert cfg.w_weight_decay == 3e-5
+        assert cfg.lambda_initial == 0.0
+        assert cfg.tau_initial == 5.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            LightNASConfig(mode="bogus")
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            LightNASConfig(target=-1.0)
+
+    def test_supernet_needs_epochs_beyond_warmup(self):
+        with pytest.raises(ValueError):
+            LightNASConfig(mode="supernet", epochs=5, warmup_epochs=10)
+
+    def test_paper_factory(self):
+        cfg = LightNASConfig.paper(26.0)
+        assert cfg.target == 26.0
+        assert cfg.space.num_layers == 21
+        assert cfg.mode == "surrogate"
+
+    def test_tiny_factory(self):
+        cfg = LightNASConfig.tiny(1.5)
+        assert cfg.mode == "supernet"
+        assert cfg.space.num_layers == 4
+
+    def test_overrides_pass_through(self):
+        cfg = LightNASConfig.paper(24.0, epochs=7, steps_per_epoch=3)
+        assert cfg.epochs == 7 and cfg.steps_per_epoch == 3
+
+
+class TestSurrogateSearch:
+    @pytest.fixture(scope="class")
+    def result(self, full_space, full_predictor):
+        cfg = LightNASConfig.paper(24.0, space=full_space, seed=0,
+                                   epochs=40, steps_per_epoch=25)
+        return LightNAS(cfg, predictor=full_predictor).search()
+
+    def test_returns_valid_architecture(self, full_space, result):
+        full_space.validate(result.architecture)
+
+    def test_hits_latency_target(self, full_space, full_latency_model, result):
+        true = full_latency_model.latency_ms(result.architecture)
+        assert abs(true - 24.0) < 1.5
+
+    def test_trajectory_converges_to_target(self, result):
+        tail = result.trajectory.predicted_metric[-5:]
+        assert all(abs(m - 24.0) < 2.5 for m in tail)
+
+    def test_single_path_complexity(self, full_space, result):
+        assert result.search_paths_per_step == full_space.num_layers
+
+    def test_step_count(self, result):
+        assert result.num_search_steps == 40 * 25
+
+    def test_trajectory_length(self, result):
+        assert len(result.trajectory) == 40
+
+    def test_lambda_history_moves(self, result):
+        lams = result.trajectory.lambda_values
+        assert max(abs(l) for l in lams) > 1e-4
+
+
+class TestTargetSweep:
+    def test_one_search_per_target_tracks_targets(self, full_space,
+                                                  full_predictor,
+                                                  full_latency_model):
+        """The headline claim: different targets, one run each, no λ tuning,
+        and the resulting latencies are ordered and near their targets."""
+        latencies = []
+        for target in (18.0, 24.0, 30.0):
+            cfg = LightNASConfig.paper(target, space=full_space, seed=1,
+                                       epochs=45, steps_per_epoch=25)
+            res = LightNAS(cfg, predictor=full_predictor).search()
+            latencies.append(full_latency_model.latency_ms(res.architecture))
+        assert latencies[0] < latencies[1] < latencies[2]
+        for lat, target in zip(latencies, (18.0, 24.0, 30.0)):
+            assert abs(lat - target) < 2.5
+
+    def test_larger_budget_buys_accuracy(self, full_space, full_predictor,
+                                         full_oracle):
+        tops = []
+        for target in (18.0, 30.0):
+            cfg = LightNASConfig.paper(target, space=full_space, seed=2,
+                                       epochs=30, steps_per_epoch=25)
+            res = LightNAS(cfg, predictor=full_predictor).search()
+            tops.append(full_oracle.evaluate(res.architecture).top1)
+        assert tops[1] > tops[0]
+
+
+class TestSupernetSearch:
+    def test_tiny_bilevel_run(self, tiny_latency_model):
+        cfg = LightNASConfig.tiny(latency_target_ms=2.25, seed=0,
+                                  epochs=8, steps_per_epoch=3, warmup_epochs=2)
+        engine = LightNAS(cfg)
+        result = engine.search()
+        cfg.space.validate(result.architecture)
+        # the tiny space spans ~2.15–2.45 ms; the target must be approached
+        true = LatencyModel(cfg.space).latency_ms(result.architecture)
+        assert abs(true - 2.25) < 0.2
+
+    def test_warmup_freezes_alpha(self):
+        cfg = LightNASConfig.tiny(latency_target_ms=2.3, seed=1,
+                                  epochs=4, steps_per_epoch=2, warmup_epochs=3)
+        engine = LightNAS(cfg)
+        result = engine.search()
+        # only (epochs - warmup) epochs contribute α steps
+        assert result.num_search_steps == (4 - 3) * 2
+
+    def test_default_predictor_built_when_missing(self):
+        cfg = LightNASConfig.tiny(latency_target_ms=2.3, seed=2,
+                                  epochs=3, steps_per_epoch=2, warmup_epochs=1)
+        engine = LightNAS(cfg)
+        assert engine.predictor.fitted

@@ -1,0 +1,89 @@
+"""Tests of the multi-constraint search extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_objective import (
+    Constraint,
+    MultiConstraintConfig,
+    MultiConstraintLightNAS,
+)
+from repro.hardware.flops import count_macs
+from repro.predictor.analytic import AnalyticCostPredictor
+
+
+class TestConstraint:
+    def test_rejects_nonpositive_target(self, tiny_predictor):
+        with pytest.raises(ValueError):
+            Constraint("latency_ms", tiny_predictor, 0.0)
+
+    def test_rejects_unfitted(self, tiny_space):
+        from repro.predictor.mlp import MLPPredictor
+
+        with pytest.raises(ValueError):
+            Constraint("latency_ms", MLPPredictor(tiny_space), 2.0)
+
+
+class TestConfig:
+    def test_needs_constraints(self, tiny_space):
+        with pytest.raises(ValueError):
+            MultiConstraintConfig(space=tiny_space, constraints=[])
+
+    def test_unique_names(self, tiny_space, tiny_predictor):
+        c = Constraint("m", tiny_predictor, 2.0)
+        with pytest.raises(ValueError):
+            MultiConstraintConfig(space=tiny_space, constraints=[c, c])
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def outcome(self, full_space, full_predictor):
+        macs_predictor = AnalyticCostPredictor(full_space, "macs_m")
+        config = MultiConstraintConfig(
+            space=full_space,
+            constraints=[
+                Constraint("latency_ms", full_predictor, 26.0),
+                Constraint("macs_m", macs_predictor, 420.0),
+            ],
+            epochs=45, steps_per_epoch=30, seed=0)
+        return MultiConstraintLightNAS(config).search()
+
+    def test_both_budgets_respected(self, outcome, full_space,
+                                    full_latency_model):
+        result, metrics = outcome
+        true_latency = full_latency_model.latency_ms(result.architecture)
+        true_macs = count_macs(full_space, result.architecture) / 1e6
+        assert true_latency <= 26.0 * 1.04  # small predictor slack
+        assert true_macs <= 420.0 * 1.04
+
+    def test_at_least_one_budget_binding(self, outcome, full_space,
+                                         full_latency_model):
+        """The optimum uses its budgets: one ceiling is (nearly) saturated."""
+        result, metrics = outcome
+        slack_latency = 1.0 - metrics["latency_ms"] / 26.0
+        slack_macs = 1.0 - metrics["macs_m"] / 420.0
+        assert min(slack_latency, slack_macs) < 0.08
+
+    def test_metrics_dict_complete(self, outcome):
+        _, metrics = outcome
+        assert set(metrics) == {"latency_ms", "macs_m"}
+
+    def test_result_reports_first_constraint(self, outcome):
+        result, metrics = outcome
+        assert result.metric_name == "latency_ms"
+        assert result.predicted_metric == pytest.approx(metrics["latency_ms"])
+
+    def test_tight_second_budget_dominates(self, full_space, full_predictor):
+        """A much tighter MACs budget must drive the solution even when the
+        latency budget is loose."""
+        macs_predictor = AnalyticCostPredictor(full_space, "macs_m")
+        config = MultiConstraintConfig(
+            space=full_space,
+            constraints=[
+                Constraint("latency_ms", full_predictor, 40.0),
+                Constraint("macs_m", macs_predictor, 320.0),
+            ],
+            epochs=40, steps_per_epoch=25, seed=1)
+        result, metrics = MultiConstraintLightNAS(config).search()
+        assert metrics["macs_m"] <= 320.0 * 1.05
+        assert metrics["latency_ms"] < 38.0  # latency ends well under its cap

@@ -1,0 +1,115 @@
+"""Tests of the constrained objective (Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.objective import ConstrainedObjective
+from repro.predictor.mlp import MLPPredictor
+
+
+@pytest.fixture
+def objective(tiny_space, tiny_predictor):
+    return ConstrainedObjective(tiny_predictor, target=2.0)
+
+
+def gates_for(space, arch):
+    return nn.Tensor(arch.one_hot(space.num_operators), requires_grad=True)
+
+
+class TestConstruction:
+    def test_rejects_unfitted_predictor(self, tiny_space):
+        with pytest.raises(ValueError):
+            ConstrainedObjective(MLPPredictor(tiny_space), target=2.0)
+
+    def test_rejects_nonpositive_target(self, tiny_predictor):
+        with pytest.raises(ValueError):
+            ConstrainedObjective(tiny_predictor, target=0.0)
+
+    def test_rejects_negative_mu(self, tiny_predictor):
+        with pytest.raises(ValueError):
+            ConstrainedObjective(tiny_predictor, target=1.0, mu=-1.0)
+
+
+class TestLoss:
+    def test_predicted_metric_matches_fast_path(self, tiny_space, tiny_predictor,
+                                                objective, rng):
+        arch = tiny_space.sample(rng)
+        gates = gates_for(tiny_space, arch)
+        metric = objective.predicted_metric(gates)
+        assert np.isclose(float(metric.data), tiny_predictor.predict_arch(arch))
+
+    def test_lambda_zero_reduces_to_valid_loss(self, tiny_space, objective, rng):
+        arch = tiny_space.sample(rng)
+        valid = nn.Tensor(1.5, requires_grad=True)
+        lam = nn.Parameter([0.0])
+        loss, _ = objective.loss(valid, gates_for(tiny_space, arch), lam)
+        assert np.isclose(float(loss.data), 1.5)
+
+    def test_penalty_sign(self, tiny_space, tiny_predictor, rng):
+        arch = tiny_space.sample(rng)
+        metric = tiny_predictor.predict_arch(arch)
+        valid = nn.Tensor(1.0)
+        lam = nn.Parameter([1.0])
+        over = ConstrainedObjective(tiny_predictor, target=metric * 0.5)
+        under = ConstrainedObjective(tiny_predictor, target=metric * 2.0)
+        loss_over, _ = over.loss(valid, gates_for(tiny_space, arch), lam)
+        loss_under, _ = under.loss(valid, gates_for(tiny_space, arch), lam)
+        assert float(loss_over.data) > 1.0   # over budget: positive penalty
+        assert float(loss_under.data) < 1.0  # under budget: negative penalty
+
+    def test_lambda_gradient_is_excess(self, tiny_space, tiny_predictor, rng):
+        """∂L/∂λ must equal LAT/T − 1 exactly (Eq. 11)."""
+        arch = tiny_space.sample(rng)
+        target = 2.0
+        objective = ConstrainedObjective(tiny_predictor, target)
+        lam = nn.Parameter([0.7])
+        valid = nn.Tensor(1.0)
+        loss, metric = objective.loss(valid, gates_for(tiny_space, arch), lam)
+        loss.backward()
+        assert np.isclose(lam.grad[0], metric / target - 1.0)
+
+    def test_alpha_gradient_scales_with_lambda(self, tiny_space, tiny_predictor,
+                                               rng):
+        arch = tiny_space.sample(rng)
+        objective = ConstrainedObjective(tiny_predictor, target=2.0)
+
+        def gate_grad(lam_value):
+            gates = gates_for(tiny_space, arch)
+            lam = nn.Parameter([lam_value])
+            loss, _ = objective.loss(nn.Tensor(0.0), gates, lam)
+            loss.backward()
+            return gates.grad.copy()
+
+        g1 = gate_grad(1.0)
+        g2 = gate_grad(2.0)
+        assert np.allclose(g2, 2.0 * g1, rtol=1e-6)
+
+    def test_mu_term_value(self, tiny_space, tiny_predictor, rng):
+        arch = tiny_space.sample(rng)
+        plain = ConstrainedObjective(tiny_predictor, target=2.0, mu=0.0)
+        damped = ConstrainedObjective(tiny_predictor, target=2.0, mu=4.0)
+        lam = nn.Parameter([0.0])
+        l0, metric = plain.loss(nn.Tensor(0.0), gates_for(tiny_space, arch), lam)
+        l1, _ = damped.loss(nn.Tensor(0.0), gates_for(tiny_space, arch), lam)
+        excess = metric / 2.0 - 1.0
+        assert np.isclose(float(l1.data) - float(l0.data), 2.0 * excess ** 2)
+
+    def test_mu_does_not_change_lambda_gradient(self, tiny_space, tiny_predictor,
+                                                rng):
+        arch = tiny_space.sample(rng)
+        damped = ConstrainedObjective(tiny_predictor, target=2.0, mu=4.0)
+        lam = nn.Parameter([0.3])
+        loss, metric = damped.loss(nn.Tensor(0.0), gates_for(tiny_space, arch), lam)
+        loss.backward()
+        assert np.isclose(lam.grad[0], metric / 2.0 - 1.0)
+
+    def test_gradient_reaches_gates(self, tiny_space, tiny_predictor, objective,
+                                    rng):
+        arch = tiny_space.sample(rng)
+        gates = gates_for(tiny_space, arch)
+        lam = nn.Parameter([0.5])
+        loss, _ = objective.loss(nn.Tensor(0.0), gates, lam)
+        loss.backward()
+        assert gates.grad is not None
+        assert np.abs(gates.grad).max() > 0

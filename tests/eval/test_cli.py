@@ -1,0 +1,75 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+TINY_ARCH = "1,2,3,4"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search"])
+
+    def test_metric_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--target", "24",
+                                       "--metric", "watts"])
+
+
+class TestInfo:
+    def test_full_space(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "5.59e+17" in out
+        assert "jetson-agx-xavier-maxn" in out
+
+    def test_tiny_space(self, capsys):
+        assert main(["info", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "4" in out
+
+
+class TestPredict:
+    def test_tiny_arch(self, capsys):
+        assert main(["predict", "--tiny", "--arch", TINY_ARCH]) == 0
+        out = capsys.readouterr().out
+        assert "latency (model)" in out
+        assert "multi-adds" in out
+
+    def test_malformed_arch(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "--tiny", "--arch", "1,banana"])
+
+    def test_wrong_length_arch(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "--tiny", "--arch", "1,2"])
+
+
+class TestEvaluate:
+    def test_emits_json_row(self, capsys):
+        assert main(["evaluate", "--tiny", "--arch", TINY_ARCH,
+                     "--name", "probe"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "probe"
+        assert 0 < payload["top1"] <= 100
+
+
+class TestSearch:
+    def test_tiny_search_outputs_json(self, capsys, tmp_path):
+        output = tmp_path / "result.json"
+        assert main(["search", "--tiny", "--target", "2.3", "--seed", "0",
+                     "--output", str(output)]) == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        assert "architecture" in stdout_payload
+        assert abs(stdout_payload["true_latency_ms"] - 2.3) < 0.3
+        with open(output) as handle:
+            assert json.load(handle) == stdout_payload

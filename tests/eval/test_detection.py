@@ -1,0 +1,47 @@
+"""Tests of the SSDLite detection-transfer surrogate (Table 3)."""
+
+import pytest
+
+from repro.eval.detection import DetectionEvaluator
+from repro.search_space.space import Architecture
+
+
+@pytest.fixture(scope="module")
+def evaluator(full_space, full_latency_model, full_oracle):
+    return DetectionEvaluator(full_space, full_latency_model, full_oracle)
+
+
+class TestDetection:
+    def test_ap_band_matches_table3(self, evaluator, full_space, rng):
+        """Table 3 APs sit around 20–22 for competitive backbones."""
+        result = evaluator.evaluate(Architecture((1,) * 21), name="uniform")
+        assert 17.0 < result.ap < 24.0
+
+    def test_better_backbone_better_ap(self, evaluator):
+        weak = evaluator.evaluate(Architecture((0,) * 21), name="weak")
+        strong = evaluator.evaluate(Architecture((5,) * 21), name="strong")
+        assert strong.ap > weak.ap
+
+    def test_latency_band_matches_table3(self, evaluator, full_space,
+                                         full_latency_model, rng):
+        """A ~20 ms classification backbone becomes a ~60–80 ms detector."""
+        arch = full_space.sample(rng)
+        backbone = full_latency_model.latency_ms(arch)
+        detector = evaluator.evaluate(arch, name="a").latency_ms
+        assert detector > 2 * backbone
+        assert detector > backbone * evaluator.RESOLUTION_FACTOR
+
+    def test_submetric_ordering(self, evaluator, full_space, rng):
+        r = evaluator.evaluate(full_space.sample(rng), name="a")
+        assert r.ap50 > r.ap > r.ap_small
+        assert r.ap_large > r.ap_medium > r.ap_small
+
+    def test_deterministic(self, evaluator, full_space, rng):
+        arch = full_space.sample(rng)
+        assert (evaluator.evaluate(arch, name="a").ap
+                == evaluator.evaluate(arch, name="a").ap)
+
+    def test_as_dict(self, evaluator, full_space, rng):
+        d = evaluator.evaluate(full_space.sample(rng), name="bb").as_dict()
+        assert set(d) == {"name", "AP", "AP50", "AP75", "APS", "APM", "APL",
+                          "latency_ms"}

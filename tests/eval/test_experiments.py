@@ -1,0 +1,71 @@
+"""Tests of the experiments harness (reporting + shared context)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ascii_series, render_table, save_json
+from repro.experiments.shared import fit_latency_predictor
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "xyz" in lines[3]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 2")
+        assert out.splitlines()[0] == "Table 2"
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+
+class TestAsciiSeries:
+    def test_contains_extremes(self):
+        out = ascii_series([1.0, 5.0, 3.0], label="metric")
+        assert "min 1" in out and "max 5" in out
+
+    def test_empty(self):
+        assert "(empty)" in ascii_series([], label="x")
+
+    def test_downsamples_long_series(self):
+        out = ascii_series(list(range(1000)), width=40)
+        longest = max(len(line) for line in out.splitlines()[1:])
+        assert longest <= 40
+
+    def test_flat_series_no_crash(self):
+        out = ascii_series([2.0, 2.0, 2.0])
+        assert "*" in out
+
+
+class TestSaveJson:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_json("unit_test_artifact", {"rows": [1, 2, 3]})
+        with open(path) as handle:
+            assert json.load(handle)["rows"] == [1, 2, 3]
+
+
+class TestPredictorCache:
+    def test_cache_round_trip(self, tmp_path, monkeypatch, tiny_space,
+                              tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        pred1, rmse1 = fit_latency_predictor(
+            tiny_space, tiny_latency_model, seed=5, num_samples=300)
+        pred2, rmse2 = fit_latency_predictor(
+            tiny_space, tiny_latency_model, seed=5, num_samples=300)
+        assert rmse1 == rmse2
+        arch = tiny_space.sample(np.random.default_rng(0))
+        assert np.isclose(pred1.predict_arch(arch), pred2.predict_arch(arch))
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        assert len(os.listdir(cache_dir)) == 1

@@ -1,0 +1,49 @@
+"""Tests of Table-2-style evaluation rows."""
+
+import pytest
+
+from repro.eval.imagenet import ImageNetEvaluator
+from repro.search_space.space import Architecture
+
+
+@pytest.fixture(scope="module")
+def evaluator(full_space, full_latency_model, full_oracle):
+    return ImageNetEvaluator(full_space, full_latency_model, full_oracle)
+
+
+class TestRows:
+    def test_row_fields(self, evaluator, full_space, rng):
+        row = evaluator.evaluate(full_space.sample(rng), name="x",
+                                 method="differentiable",
+                                 search_cost_gpu_hours=10.0)
+        assert row.name == "x"
+        assert 0 < row.top1 < row.top5 <= 100
+        assert row.latency_ms > 0
+        assert row.macs_m > 0
+        assert row.params_m > 0
+        assert row.search_cost_gpu_hours == 10.0
+
+    def test_as_dict_round_values(self, evaluator, full_space, rng):
+        d = evaluator.evaluate(full_space.sample(rng), name="y").as_dict()
+        assert set(d) >= {"name", "method", "top1", "top5", "latency_ms",
+                          "macs_m", "params_m"}
+
+    def test_se_increases_everything(self, evaluator):
+        arch = Architecture((1,) * 21)
+        base = evaluator.evaluate(arch, name="base")
+        se = evaluator.evaluate(arch, name="se", with_se_last=9)
+        # Table 4: SE adds accuracy, latency and FLOPs
+        assert se.top1 > base.top1
+        assert se.latency_ms > base.latency_ms
+        assert se.macs_m > base.macs_m
+
+    def test_quick_epochs_lower_accuracy(self, evaluator, full_space, rng):
+        arch = full_space.sample(rng)
+        full = evaluator.evaluate(arch, name="a", epochs=360)
+        quick = evaluator.evaluate(arch, name="a", epochs=50)
+        assert quick.top1 < full.top1
+
+    def test_default_models_built(self, full_space):
+        evaluator = ImageNetEvaluator(full_space)
+        row = evaluator.evaluate(Architecture((1,) * 21), name="z")
+        assert row.latency_ms > 0

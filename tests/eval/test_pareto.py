@@ -1,0 +1,155 @@
+"""Tests of the Pareto-front analysis utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.pareto import (
+    FrontPoint,
+    dominates,
+    front_gap,
+    hypervolume_2d,
+    pareto_front,
+)
+
+
+P = FrontPoint
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates(P(1.0, 10.0), P(2.0, 5.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(P(1.0, 10.0), P(1.0, 10.0))
+
+    def test_better_one_axis_equal_other(self):
+        assert dominates(P(1.0, 10.0), P(1.0, 9.0))
+        assert dominates(P(1.0, 10.0), P(2.0, 10.0))
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = P(1.0, 5.0), P(2.0, 10.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestParetoFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single(self):
+        assert pareto_front([P(1, 1)]) == [P(1, 1)]
+
+    def test_removes_dominated(self):
+        points = [P(1, 10), P(2, 9), P(3, 12), P(4, 11)]
+        front = pareto_front(points)
+        assert front == [P(1, 10), P(3, 12)]
+
+    def test_sorted_by_cost(self):
+        points = [P(3, 12), P(1, 10), P(2, 11)]
+        front = pareto_front(points)
+        costs = [p.cost for p in front]
+        assert costs == sorted(costs)
+
+    def test_front_qualities_increase(self):
+        rng = np.random.default_rng(0)
+        points = [P(float(c), float(q))
+                  for c, q in rng.uniform(0, 10, size=(50, 2))]
+        front = pareto_front(points)
+        qualities = [p.quality for p in front]
+        assert qualities == sorted(qualities)
+
+    def test_all_points_dominated_by_front(self):
+        rng = np.random.default_rng(1)
+        points = [P(float(c), float(q))
+                  for c, q in rng.uniform(0, 10, size=(40, 2))]
+        front = pareto_front(points)
+        for point in points:
+            assert point in front or any(dominates(f, point) for f in front)
+
+
+class TestHypervolume:
+    def test_empty(self):
+        assert hypervolume_2d([], (10.0, 0.0)) == 0.0
+
+    def test_single_point_rectangle(self):
+        hv = hypervolume_2d([P(2.0, 8.0)], reference=(10.0, 0.0))
+        assert hv == pytest.approx((10.0 - 2.0) * 8.0)
+
+    def test_two_point_staircase(self):
+        hv = hypervolume_2d([P(2.0, 5.0), P(6.0, 9.0)], reference=(10.0, 0.0))
+        assert hv == pytest.approx((6 - 2) * 5 + (10 - 6) * 9)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d([P(2.0, 8.0)], (10.0, 0.0))
+        with_dominated = hypervolume_2d([P(2.0, 8.0), P(5.0, 4.0)],
+                                        (10.0, 0.0))
+        assert with_dominated == pytest.approx(base)
+
+    def test_points_outside_reference_ignored(self):
+        hv = hypervolume_2d([P(12.0, 8.0)], (10.0, 0.0))
+        assert hv == 0.0
+
+
+class TestFrontGap:
+    def test_point_on_front(self):
+        front = pareto_front([P(1, 10), P(3, 12)])
+        assert front_gap(P(3, 12), front) == 0.0
+
+    def test_point_behind_front(self):
+        front = pareto_front([P(1, 10), P(3, 12)])
+        assert front_gap(P(3, 11), front) == pytest.approx(1.0)
+
+    def test_point_cheaper_than_front(self):
+        front = pareto_front([P(5, 10)])
+        assert front_gap(P(1, 2), front) == 0.0
+
+    def test_point_extends_front(self):
+        front = pareto_front([P(1, 10)])
+        assert front_gap(P(2, 15), front) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.floats(0, 100, allow_nan=False)),
+                min_size=1, max_size=30))
+def test_front_is_mutually_nondominated_property(coords):
+    points = [P(c, q) for c, q in coords]
+    front = pareto_front(points)
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                          st.floats(0, 50, allow_nan=False)),
+                min_size=1, max_size=30))
+def test_hypervolume_monotone_under_additions_property(coords):
+    points = [P(c, q) for c, q in coords]
+    reference = (60.0, -1.0)
+    partial = hypervolume_2d(points[:-1], reference) if len(points) > 1 else 0.0
+    full = hypervolume_2d(points, reference)
+    assert full >= partial - 1e-9
+
+
+class TestOnTable2Data:
+    def test_lightnets_define_the_frontier(self, full_space, full_oracle,
+                                           full_latency_model):
+        """The zoo LightNets must all sit on the accuracy/latency front
+        formed together with the manual baseline and corner points."""
+        from repro import zoo
+
+        candidates = {"mnv2": zoo.MOBILENET_V2, "small": zoo.SMALLEST,
+                      "large": zoo.LARGEST}
+        candidates.update({f"light{t:.0f}": a for t, a in zoo.LIGHTNETS.items()})
+        points = [
+            P(full_latency_model.latency_ms(arch),
+              full_oracle.evaluate(arch).top1, name)
+            for name, arch in candidates.items()
+        ]
+        front = pareto_front(points)
+        for point in points:
+            if point.name.startswith("light"):
+                assert front_gap(point, front) < 0.25, point

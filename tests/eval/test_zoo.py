@@ -1,0 +1,82 @@
+"""Tests of the model zoo and weight serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import nn, zoo
+from repro.proxy.supernet import build_standalone
+
+
+class TestReferenceArchitectures:
+    def test_lightnets_fit_the_space(self, full_space):
+        for target, arch in zoo.LIGHTNETS.items():
+            full_space.validate(arch)
+
+    def test_lightnets_hit_their_targets(self, full_space, full_latency_model):
+        for target, arch in zoo.LIGHTNETS.items():
+            latency = full_latency_model.latency_ms(arch)
+            assert abs(latency - target) < 1.0, (target, latency)
+
+    def test_lightnets_accuracy_monotone(self, full_space, full_oracle):
+        tops = [full_oracle.evaluate(zoo.lightnet(t)).top1
+                for t in sorted(zoo.LIGHTNETS)]
+        assert tops == sorted(tops) or all(
+            b >= a - 0.25 for a, b in zip(tops, tops[1:]))
+        assert tops[-1] - tops[0] > 0.5
+
+    def test_lightnet_lookup(self):
+        assert zoo.lightnet(24) == zoo.LIGHTNETS[24.0]
+        with pytest.raises(KeyError):
+            zoo.lightnet(25.0)
+
+    def test_corner_points_ordering(self, full_space, full_latency_model):
+        lat = full_latency_model.latency_ms
+        assert (lat(zoo.ALL_SKIP) < lat(zoo.SMALLEST)
+                < lat(zoo.MOBILENET_V2) < lat(zoo.LARGEST))
+
+    def test_lightnets_dominate_mobilenetv2(self, full_space, full_oracle,
+                                            full_latency_model):
+        """Every reference LightNet beats the manual baseline's top-1."""
+        base = full_oracle.evaluate(zoo.MOBILENET_V2).top1
+        for target, arch in zoo.LIGHTNETS.items():
+            assert full_oracle.evaluate(arch).top1 > base
+
+    def test_mobile_setting(self, full_space):
+        from repro.hardware.flops import count_macs
+
+        for arch in zoo.LIGHTNETS.values():
+            assert count_macs(full_space, arch) < 600e6
+
+
+class TestWeightSerialisation:
+    def test_round_trip_standalone(self, tiny_space, tmp_path):
+        rng = np.random.default_rng(0)
+        arch = tiny_space.sample(rng)
+        model = build_standalone(tiny_space, arch, rng, dropout=0.0)
+        path = str(tmp_path / "weights.npz")
+        zoo.save_weights(model, path)
+
+        clone = build_standalone(tiny_space, arch, np.random.default_rng(9),
+                                 dropout=0.0)
+        zoo.load_weights(clone, path)
+        r = tiny_space.macro.input_resolution
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(1, 3, r, r)))
+        model.eval()
+        clone.eval()
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_load_rejects_wrong_architecture(self, tiny_space, tmp_path):
+        from repro.search_space.space import Architecture
+
+        rng = np.random.default_rng(0)
+        source_arch = tiny_space.sample(rng)
+        source = build_standalone(tiny_space, source_arch, rng, dropout=0.0)
+        path = str(tmp_path / "w.npz")
+        zoo.save_weights(source, path)
+
+        shifted = Architecture(tuple(
+            (i + 1) % tiny_space.num_operators for i in source_arch.op_indices))
+        other = build_standalone(tiny_space, shifted, np.random.default_rng(1),
+                                 dropout=0.0)
+        with pytest.raises((KeyError, ValueError)):
+            zoo.load_weights(other, path)

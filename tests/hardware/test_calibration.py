@@ -1,0 +1,58 @@
+"""Calibration bands of the simulated Xavier (see DESIGN.md §2).
+
+These tests pin the distributional properties the paper's experiments rely
+on; if a device-profile constant changes, these fail before any benchmark
+silently drifts.
+"""
+
+import numpy as np
+
+from repro.hardware.flops import count_macs
+from repro.search_space.space import Architecture
+
+
+class TestLatencyBands:
+    def test_random_arch_band(self, full_space, full_latency_model, rng):
+        lats = np.array([full_latency_model.latency_ms(full_space.sample(rng))
+                         for _ in range(300)])
+        # searched architectures live in 20–30 ms; random ones straddle it
+        assert 20.0 < lats.mean() < 28.0
+        assert lats.min() > 10.0
+        assert lats.max() < 40.0
+
+    def test_targets_all_reachable(self, full_space, full_latency_model, rng):
+        """Every Table-2 target (20–30 ms) is inside the achievable range."""
+        lats = [full_latency_model.latency_ms(full_space.sample(rng))
+                for _ in range(300)]
+        all_small = full_latency_model.latency_ms(Architecture((0,) * 21))
+        all_big = full_latency_model.latency_ms(Architecture((5,) * 21))
+        for target in (20, 22, 24, 26, 28, 30):
+            assert all_small < target < all_big
+
+    def test_flops_decoupled_from_latency(self, full_space, full_latency_model,
+                                          rng):
+        """Figure 2: the FLOPs↔latency correlation is clearly below 1, and
+        architectures in a narrow latency band span a wide FLOPs range."""
+        archs = full_space.sample_many(300, rng)
+        lats = np.array([full_latency_model.latency_ms(a) for a in archs])
+        macs = np.array([count_macs(full_space, a) for a in archs], dtype=float)
+        corr = np.corrcoef(lats, macs)[0, 1]
+        assert 0.4 < corr < 0.95
+        band = np.abs(lats - np.median(lats)) < 0.75
+        spread = macs[band].max() / macs[band].min()
+        assert spread > 1.15
+
+
+class TestEnergyBands:
+    def test_energy_band(self, full_space, full_energy_model, rng):
+        energies = np.array(
+            [full_energy_model.energy_mj(full_space.sample(rng))
+             for _ in range(200)])
+        assert 350.0 < energies.mean() < 550.0
+
+    def test_flops_decoupled_from_energy(self, full_space, full_energy_model,
+                                         rng):
+        archs = full_space.sample_many(200, rng)
+        energies = np.array([full_energy_model.energy_mj(a) for a in archs])
+        macs = np.array([count_macs(full_space, a) for a in archs], dtype=float)
+        assert np.corrcoef(energies, macs)[0, 1] < 0.98

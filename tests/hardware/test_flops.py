@@ -1,0 +1,116 @@
+"""Tests of the analytic FLOPs/params/memory counters."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import flops
+from repro.proxy.supernet import build_standalone
+from repro.search_space.macro import LayerGeometry, MacroConfig
+from repro.search_space.operators import LIGHTNAS_OPERATORS, SKIP_INDEX
+from repro.search_space.space import Architecture, SearchSpace
+
+GEOM = LayerGeometry(in_channels=16, out_channels=24, stride=2, in_resolution=56)
+GEOM_ID = LayerGeometry(in_channels=24, out_channels=24, stride=1, in_resolution=28)
+
+
+class TestOpCost:
+    def test_identity_skip_is_free(self):
+        cost = flops.op_cost(LIGHTNAS_OPERATORS[SKIP_INDEX], GEOM_ID)
+        assert cost.macs == 0 and cost.params == 0 and cost.mem_bytes == 0
+
+    def test_typed_skip_pays_projection(self):
+        cost = flops.op_cost(LIGHTNAS_OPERATORS[SKIP_INDEX], GEOM)
+        assert cost.macs > 0 and cost.params > 0
+
+    def test_expansion_increases_cost(self):
+        e3 = flops.op_cost(LIGHTNAS_OPERATORS[0], GEOM)  # k3 e3
+        e6 = flops.op_cost(LIGHTNAS_OPERATORS[1], GEOM)  # k3 e6
+        assert e6.macs > e3.macs
+        assert e6.params > e3.params
+
+    def test_kernel_increases_cost(self):
+        k3 = flops.op_cost(LIGHTNAS_OPERATORS[0], GEOM)
+        k7 = flops.op_cost(LIGHTNAS_OPERATORS[4], GEOM)  # k7 e3
+        assert k7.macs > k3.macs
+
+    def test_kernel_affects_only_depthwise(self):
+        # k3→k7 changes dw MACs by factor (49/9) on the dw part only
+        k3 = flops.op_cost(LIGHTNAS_OPERATORS[0], GEOM_ID)
+        k7 = flops.op_cost(LIGHTNAS_OPERATORS[4], GEOM_ID)
+        hidden = GEOM_ID.in_channels * 3
+        res = GEOM_ID.out_resolution
+        dw_diff = hidden * (49 - 9) * res * res
+        assert k7.macs - k3.macs == dw_diff
+
+    def test_se_adds_cost(self):
+        base = flops.op_cost(LIGHTNAS_OPERATORS[1], GEOM_ID)
+        se = flops.op_cost(LIGHTNAS_OPERATORS[1], GEOM_ID, with_se=True)
+        assert se.macs > base.macs
+        assert se.params > base.params
+
+    def test_flops_is_twice_macs(self):
+        cost = flops.op_cost(LIGHTNAS_OPERATORS[1], GEOM)
+        assert cost.flops == 2 * cost.macs
+
+    def test_opcost_addition(self):
+        a = flops.OpCost(1, 2, 3)
+        b = flops.OpCost(10, 20, 30)
+        c = a + b
+        assert (c.macs, c.params, c.mem_bytes) == (11, 22, 33)
+
+
+class TestArchCost:
+    def test_mobile_setting_under_600m_macs(self, full_space):
+        # The paper's mobile setting: multi-adds strictly under 600M.
+        arch = Architecture((5,) * 21)  # the largest candidate everywhere
+        assert flops.count_macs(full_space, arch) < 600e6
+
+    def test_all_skip_is_fixed_cost_plus_projections(self, full_space):
+        arch = Architecture((SKIP_INDEX,) * 21)
+        fixed = flops.fixed_cost(full_space.macro)
+        total = flops.arch_cost(full_space, arch)
+        assert total.macs > fixed.macs  # stage-boundary projections remain
+        assert total.macs < fixed.macs * 1.5
+
+    def test_monotone_in_operator_size(self, full_space):
+        small = Architecture((0,) * 21)
+        big = Architecture((5,) * 21)
+        assert flops.count_macs(full_space, big) > flops.count_macs(full_space, small)
+        assert flops.count_params(full_space, big) > flops.count_params(
+            full_space, small)
+
+    def test_se_last_layers_increase_cost(self, full_space):
+        arch = Architecture((1,) * 21)
+        base = flops.arch_cost(full_space, arch)
+        se = flops.arch_cost(full_space, arch, with_se_last=9)
+        assert se.macs > base.macs
+
+    def test_validates_architecture(self, full_space):
+        with pytest.raises(ValueError):
+            flops.arch_cost(full_space, Architecture((0,)))
+
+    def test_params_match_instantiated_network(self, tiny_space):
+        """The analytic parameter count equals the real module's count."""
+        rng = np.random.default_rng(0)
+        arch = tiny_space.sample(rng)
+        model = build_standalone(tiny_space, arch, rng, dropout=0.0)
+        analytic = flops.count_params(tiny_space, arch)
+        assert model.num_parameters() == analytic
+
+    def test_params_match_instantiated_with_se(self, tiny_space):
+        rng = np.random.default_rng(1)
+        arch = Architecture((1,) * tiny_space.num_layers)  # all MBConv
+        model = build_standalone(tiny_space, arch, rng, dropout=0.0, with_se_last=2)
+        analytic = flops.arch_cost(tiny_space, arch, with_se_last=2).params
+        assert model.num_parameters() == analytic
+
+
+class TestFixedCost:
+    def test_positive(self, full_space):
+        cost = flops.fixed_cost(full_space.macro)
+        assert cost.macs > 0 and cost.params > 0 and cost.mem_bytes > 0
+
+    def test_scales_with_resolution(self):
+        base = flops.fixed_cost(MacroConfig.lightnas())
+        small = flops.fixed_cost(MacroConfig.lightnas().scaled(1.0, resolution=128))
+        assert small.macs < base.macs

@@ -1,0 +1,80 @@
+"""Tests of the additive latency-LUT baseline (Figure 5 Right)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.lut import LatencyLUT
+from repro.search_space.space import Architecture
+
+
+@pytest.fixture(scope="module")
+def lut(full_latency_model):
+    return LatencyLUT(full_latency_model, np.random.default_rng(0), trials=3)
+
+
+class TestConstruction:
+    def test_table_shape(self, lut, full_space):
+        assert lut.table.shape == (21, 7)
+
+    def test_entries_nonnegative(self, lut):
+        assert (lut.table >= 0).all()
+
+    def test_invalid_trials(self, full_latency_model):
+        with pytest.raises(ValueError):
+            LatencyLUT(full_latency_model, np.random.default_rng(0), trials=0)
+
+
+class TestPrediction:
+    def test_additivity(self, lut, full_space):
+        """LUT predictions are additive by construction: changing one layer
+        changes the prediction by exactly the table-entry difference."""
+        base = Architecture((0,) * 21)
+        changed = Architecture((5,) + (0,) * 20)
+        delta = lut.predict(changed) - lut.predict(base)
+        assert np.isclose(delta, lut.table[0, 5] - lut.table[0, 0])
+
+    def test_systematic_overprediction(self, lut, full_space, full_latency_model,
+                                       rng):
+        """The LUT over-predicts every architecture by a consistent gap
+        (the paper reports ≈11.48 ms)."""
+        archs = full_space.sample_many(100, rng)
+        gaps = lut.predict_many(archs) - np.array(
+            [full_latency_model.latency_ms(a) for a in archs])
+        assert gaps.min() > 5.0            # always over-predicting
+        assert 10.0 < gaps.mean() < 13.0   # the consistent gap
+        assert gaps.std() < 1.0            # and it is consistent
+
+    def test_debias_removes_mean_gap(self, full_latency_model, full_space):
+        lut = LatencyLUT(full_latency_model, np.random.default_rng(1), trials=3)
+        rng = np.random.default_rng(2)
+        archs = full_space.sample_many(100, rng)
+        measured = np.array([full_latency_model.latency_ms(a) for a in archs])
+        gap = lut.debias(archs, measured)
+        assert gap > 5.0
+        residual = lut.predict_many(archs) - measured
+        assert abs(residual.mean()) < 1e-9
+
+    def test_debiased_rmse_still_nonzero(self, full_latency_model, full_space):
+        """Even after de-biasing, the LUT cannot see cross-layer fusion:
+        the paper reports a residual RMSE of ≈0.41 ms."""
+        lut = LatencyLUT(full_latency_model, np.random.default_rng(3), trials=5)
+        rng = np.random.default_rng(4)
+        archs = full_space.sample_many(200, rng)
+        measured = np.array([full_latency_model.latency_ms(a) for a in archs])
+        lut.debias(archs, measured)
+        residual = lut.predict_many(archs) - measured
+        rmse = float(np.sqrt((residual ** 2).mean()))
+        assert 0.2 < rmse < 0.8
+
+    def test_validates_architecture(self, lut):
+        with pytest.raises(ValueError):
+            lut.predict(Architecture((0, 1)))
+
+    def test_debias_length_mismatch(self, lut, full_space, rng):
+        archs = full_space.sample_many(3, rng)
+        with pytest.raises(ValueError):
+            lut.debias(archs, np.zeros(2))
+
+    def test_predict_many_shape(self, lut, full_space, rng):
+        archs = full_space.sample_many(4, rng)
+        assert lut.predict_many(archs).shape == (4,)

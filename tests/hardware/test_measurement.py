@@ -1,0 +1,121 @@
+"""Tests of the measurement-campaign protocol (warmup/trials/outliers)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.measurement import (
+    MeasurementProtocol,
+    MeasurementReport,
+    measure_latency_campaign,
+)
+
+
+class TestProtocolValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(warmup=-1)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(trials=0)
+
+    def test_rejects_bad_aggregate(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(aggregate="mode")
+
+    def test_rejects_bad_spike_probability(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(spike_probability=1.0)
+
+
+class TestProtocolRun:
+    def test_warmup_samples_discarded(self):
+        calls = []
+
+        def sample():
+            calls.append(len(calls))
+            return 100.0 if len(calls) <= 3 else 10.0
+
+        protocol = MeasurementProtocol(warmup=3, trials=5,
+                                       spike_probability=0.0)
+        report = protocol.run(sample, np.random.default_rng(0))
+        assert report.value == 10.0  # the hot-cache value, not the cold one
+        assert len(calls) == 8
+
+    def test_median_robust_to_single_spike(self):
+        values = iter([10.0, 10.1, 9.9, 50.0, 10.0])
+        protocol = MeasurementProtocol(warmup=0, trials=5,
+                                       spike_probability=0.0)
+        report = protocol.run(lambda: next(values), np.random.default_rng(0))
+        assert abs(report.value - 10.0) < 0.2
+
+    def test_outlier_rejection_counts(self):
+        values = iter([10.0, 10.05, 9.95, 10.02, 9.98, 80.0])
+        protocol = MeasurementProtocol(warmup=0, trials=6,
+                                       outlier_sigma=4.0,
+                                       spike_probability=0.0)
+        report = protocol.run(lambda: next(values), np.random.default_rng(0))
+        assert report.outliers_rejected == 1
+        assert abs(report.value - 10.0) < 0.1
+
+    def test_outlier_rejection_disabled(self):
+        values = iter([10.0, 10.0, 80.0])
+        protocol = MeasurementProtocol(warmup=0, trials=3, outlier_sigma=None,
+                                       spike_probability=0.0)
+        report = protocol.run(lambda: next(values), np.random.default_rng(0))
+        assert report.outliers_rejected == 0
+
+    def test_trimmed_mean_aggregate(self):
+        values = iter([1.0, 2.0, 3.0, 4.0, 100.0])
+        protocol = MeasurementProtocol(warmup=0, trials=5,
+                                       aggregate="trimmed_mean",
+                                       outlier_sigma=None,
+                                       spike_probability=0.0)
+        report = protocol.run(lambda: next(values), np.random.default_rng(0))
+        assert report.value == pytest.approx(3.0)  # mean of 2, 3, 4
+
+    def test_constant_signal(self):
+        protocol = MeasurementProtocol(warmup=1, trials=4,
+                                       spike_probability=0.0)
+        report = protocol.run(lambda: 7.0, np.random.default_rng(0))
+        assert report.value == 7.0
+        assert report.std == 0.0
+
+    def test_relative_std(self):
+        report = MeasurementReport(value=10.0, mean=10.0, std=0.5, trials=5,
+                                   outliers_rejected=0)
+        assert report.relative_std == pytest.approx(0.05)
+
+    def test_spikes_injected_and_rejected(self):
+        """With spikes on, the robust value stays near the truth while the
+        raw mean would be pulled up."""
+        protocol = MeasurementProtocol(warmup=0, trials=200,
+                                       spike_probability=0.2, spike_scale=3.0)
+        rng = np.random.default_rng(1)
+        report = protocol.run(lambda: 10.0 + rng.normal(0, 0.05), rng)
+        assert abs(report.value - 10.0) < 0.1
+        assert report.outliers_rejected > 10
+
+
+class TestCampaign:
+    def test_reports_match_model(self, tiny_space, tiny_latency_model, rng):
+        archs = tiny_space.sample_many(5, rng)
+        reports = measure_latency_campaign(tiny_latency_model, archs, rng)
+        assert len(reports) == 5
+        for arch, report in zip(archs, reports):
+            true = tiny_latency_model.latency_ms(arch)
+            assert abs(report.value - true) < 0.15
+
+    def test_protocol_beats_single_measurement(self, tiny_space,
+                                               tiny_latency_model):
+        """Median-of-trials error < single-shot error, on average."""
+        rng = np.random.default_rng(3)
+        archs = tiny_space.sample_many(30, rng)
+        protocol = MeasurementProtocol(warmup=1, trials=9,
+                                       spike_probability=0.05)
+        single_err, robust_err = 0.0, 0.0
+        for arch in archs:
+            true = tiny_latency_model.latency_ms(arch)
+            single_err += abs(tiny_latency_model.measure(arch, rng) - true)
+            report = protocol.run(
+                lambda a=arch: tiny_latency_model.measure(a, rng), rng)
+            robust_err += abs(report.value - true)
+        assert robust_err < single_err

@@ -1,0 +1,68 @@
+"""The equality principle (§3.3, FairNAS): supernet path ≡ stand-alone net.
+
+LightNAS's single-path execution means the supernet trains each architecture
+exactly as the stand-alone network would be trained.  These tests verify
+structural equality between a supernet path and the materialised network.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.proxy.supernet import SuperNet, build_standalone
+from repro.search_space.space import Architecture
+
+
+class TestEqualityPrinciple:
+    def test_path_matches_standalone_with_copied_weights(self, tiny_space):
+        """Copying the supernet's path weights into a stand-alone network
+        must reproduce the supernet's single-path output exactly."""
+        rng = np.random.default_rng(0)
+        supernet = SuperNet(tiny_space, rng)
+        arch = tiny_space.sample(np.random.default_rng(1))
+
+        standalone = build_standalone(tiny_space, arch,
+                                      np.random.default_rng(2), dropout=0.0)
+        # copy backbone weights
+        standalone.backbone.load_state_dict(supernet.backbone.state_dict())
+        # copy the chosen operator of each layer
+        for i, k in enumerate(arch.op_indices):
+            source = supernet.choice_blocks[i][k]
+            standalone.blocks[i].load_state_dict(source.state_dict())
+
+        r = tiny_space.macro.input_resolution
+        x = nn.Tensor(np.random.default_rng(3).normal(size=(2, 3, r, r)))
+        supernet.eval()
+        standalone.eval()
+        path_out = supernet.forward_arch(x, arch)
+        alone_out = standalone(x)
+        assert np.allclose(path_out.data, alone_out.data)
+
+    def test_parameter_counts_match(self, tiny_space):
+        rng = np.random.default_rng(4)
+        supernet = SuperNet(tiny_space, rng)
+        arch = tiny_space.sample(np.random.default_rng(5))
+        path_params = sum(p.size for p in supernet.path_parameters(arch))
+        standalone = build_standalone(tiny_space, arch,
+                                      np.random.default_rng(6), dropout=0.0)
+        assert path_params == sum(p.size for p in standalone.parameters())
+
+    def test_single_path_memory_is_k_times_smaller(self, tiny_space):
+        """The §3.3 memory claim, quantified on executed operator instances."""
+        rng = np.random.default_rng(7)
+        supernet = SuperNet(tiny_space, rng)
+        arch = tiny_space.sample(np.random.default_rng(8))
+        r = tiny_space.macro.input_resolution
+        x = nn.Tensor(np.zeros((1, 3, r, r)))
+
+        supernet.forward_single_path(
+            x, nn.Tensor(arch.one_hot(tiny_space.num_operators)))
+        single = supernet.last_active_paths
+
+        uniform = nn.Tensor(np.full(
+            (tiny_space.num_layers, tiny_space.num_operators),
+            1.0 / tiny_space.num_operators))
+        supernet.forward_weighted(x, uniform)
+        multi = supernet.last_active_paths
+
+        assert multi == tiny_space.num_operators * single

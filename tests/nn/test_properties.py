@@ -1,0 +1,131 @@
+"""Hypothesis property tests for the autodiff core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, ops
+from repro.nn import functional as F
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_add_commutative(a, b):
+    assert np.allclose(ops.add(Tensor(a), Tensor(b)).data,
+                       ops.add(Tensor(b), Tensor(a)).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4,)), arrays((4,)), arrays((4,)))
+def test_add_associative(a, b, c):
+    left = ops.add(ops.add(Tensor(a), Tensor(b)), Tensor(c)).data
+    right = ops.add(Tensor(a), ops.add(Tensor(b), Tensor(c))).data
+    assert np.allclose(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((5,)))
+def test_neg_involution(a):
+    assert np.allclose(ops.neg(ops.neg(Tensor(a))).data, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 6)))
+def test_softmax_simplex_invariant(a):
+    out = F.softmax(Tensor(a)).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 6)), st.floats(min_value=0.01, max_value=50.0))
+def test_gumbel_softmax_simplex_invariant(a, tau):
+    out = F.gumbel_softmax(Tensor(a), tau=tau,
+                           rng=np.random.default_rng(0)).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 5)))
+def test_hard_binarize_exactly_one_hot(a):
+    hard = F.hard_binarize_ste(F.softmax(Tensor(a))).data
+    assert np.allclose(hard.sum(axis=-1), 1.0)
+    assert np.all((hard == 0.0) | (hard == 1.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 3)))
+def test_sum_matches_numpy(a):
+    assert np.allclose(ops.sum_(Tensor(a)).data, a.sum())
+    assert np.allclose(ops.sum_(Tensor(a), axis=0).data, a.sum(axis=0))
+    assert np.allclose(ops.mean(Tensor(a), axis=1).data, a.mean(axis=1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 3)), arrays((3, 2)))
+def test_matmul_matches_numpy(a, b):
+    assert np.allclose(ops.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((6,)))
+def test_relu_idempotent(a):
+    once = ops.relu(Tensor(a)).data
+    twice = ops.relu(ops.relu(Tensor(a))).data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((6,)))
+def test_relu6_bounded(a):
+    out = ops.relu6(Tensor(a)).data
+    assert np.all(out >= 0) and np.all(out <= 6.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((2, 2, 4, 4)), st.integers(min_value=1, max_value=3))
+def test_pad2d_shape_and_content(a, p):
+    out = ops.pad2d(Tensor(a), p).data
+    assert out.shape == (2, 2, 4 + 2 * p, 4 + 2 * p)
+    assert np.allclose(out[:, :, p:-p, p:-p], a)
+    assert np.isclose(out.sum(), a.sum())  # zero padding adds nothing
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 4)))
+def test_reshape_round_trip(a):
+    t = ops.reshape(ops.reshape(Tensor(a), (12,)), (3, 4))
+    assert np.allclose(t.data, a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 4)))
+def test_transpose_involution(a):
+    t = ops.transpose(ops.transpose(Tensor(a)))
+    assert np.allclose(t.data, a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((4, 4)))
+def test_gradient_of_sum_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    ops.sum_(t).backward()
+    assert np.allclose(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=9))
+def test_cross_entropy_bounded_below(label):
+    rng = np.random.default_rng(label)
+    logits = Tensor(rng.normal(size=(1, 10)))
+    loss = F.cross_entropy(logits, np.array([label]))
+    assert loss.item() >= 0.0

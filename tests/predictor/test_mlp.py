@@ -1,0 +1,109 @@
+"""Tests of the MLP latency/energy predictor (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.predictor.dataset import collect_latency_dataset
+from repro.predictor.mlp import MLPPredictor
+
+
+class TestArchitectureOfPredictor:
+    def test_paper_layer_sizes(self, full_space):
+        pred = MLPPredictor(full_space)
+        dims = [(l.in_features, l.out_features) for l in pred.layers]
+        assert dims == [(147, 128), (128, 64), (64, 1)]
+
+    def test_input_dim_follows_space(self, tiny_space):
+        pred = MLPPredictor(tiny_space)
+        assert pred.input_dim == tiny_space.num_layers * tiny_space.num_operators
+
+
+class TestFit:
+    def test_reaches_low_rmse(self, tiny_space, tiny_latency_model, tiny_predictor):
+        rng = np.random.default_rng(99)
+        data = collect_latency_dataset(tiny_latency_model, 200, rng)
+        rmse = tiny_predictor.rmse(data)
+        # tiny-space latency spread is ~0.1 ms; predictor should be well
+        # under the trivial (predict-the-mean) error
+        baseline = float(data.targets.std())
+        assert rmse < 0.6 * baseline
+
+    def test_rejects_tiny_training_set(self, tiny_space, tiny_latency_model, rng):
+        data = collect_latency_dataset(tiny_latency_model, 3, rng)
+        pred = MLPPredictor(tiny_space)
+        data.targets = data.targets[:1]
+        data.features = data.features[:1]
+        data.archs = data.archs[:1]
+        with pytest.raises(ValueError):
+            pred.fit(data)
+
+    def test_training_loss_decreases(self, tiny_space, tiny_latency_model, rng):
+        data = collect_latency_dataset(tiny_latency_model, 150, rng)
+        pred = MLPPredictor(tiny_space, hidden=(32, 16), seed=1)
+        log = pred.fit(data, epochs=30, batch_size=64, lr=3e-3)
+        assert log.train_loss[-1] < log.train_loss[0]
+
+    def test_fitted_flag(self, tiny_space, tiny_latency_model, rng):
+        pred = MLPPredictor(tiny_space)
+        assert not pred.fitted
+        data = collect_latency_dataset(tiny_latency_model, 50, rng)
+        pred.fit(data, epochs=2)
+        assert pred.fitted
+
+    def test_valid_log_recorded(self, tiny_space, tiny_latency_model, rng):
+        data = collect_latency_dataset(tiny_latency_model, 80, rng)
+        train, valid = data.split(0.8, rng)
+        pred = MLPPredictor(tiny_space, hidden=(16, 8))
+        log = pred.fit(train, valid, epochs=5)
+        assert len(log.valid_rmse) == 5
+
+
+class TestPredictPaths:
+    def test_numpy_and_tensor_paths_agree(self, tiny_space, tiny_predictor, rng):
+        archs = tiny_space.sample_many(8, rng)
+        feats = np.stack(
+            [a.one_hot(tiny_space.num_operators).reshape(-1) for a in archs])
+        fast = tiny_predictor.predict(feats)
+        taped = tiny_predictor.predict_tensor(nn.Tensor(feats)).data
+        assert np.allclose(fast, taped)
+
+    def test_predict_arch_scalar(self, tiny_space, tiny_predictor, rng):
+        value = tiny_predictor.predict_arch(tiny_space.sample(rng))
+        assert isinstance(value, float)
+        assert value > 0
+
+    def test_differentiable_wrt_input(self, tiny_space, tiny_predictor, rng):
+        """The property Eq. (12) needs: ∂LAT/∂(input encoding) exists."""
+        arch = tiny_space.sample(rng)
+        feats = nn.Tensor(
+            arch.one_hot(tiny_space.num_operators).reshape(1, -1),
+            requires_grad=True,
+        )
+        out = tiny_predictor.predict_tensor(feats)
+        out.sum().backward()
+        assert feats.grad is not None
+        assert np.abs(feats.grad).max() > 0
+
+    def test_predict_single_row(self, tiny_space, tiny_predictor, rng):
+        arch = tiny_space.sample(rng)
+        feat = arch.one_hot(tiny_space.num_operators).reshape(1, -1)
+        assert tiny_predictor.predict(feat).shape == (1,)
+
+
+class TestStateDict:
+    def test_round_trip(self, tiny_space, tiny_predictor, rng):
+        state = tiny_predictor.state_dict()
+        clone = MLPPredictor(tiny_space, hidden=(64, 32), seed=7)
+        clone.load_state_dict(state)
+        arch = tiny_space.sample(rng)
+        assert np.isclose(clone.predict_arch(arch),
+                          tiny_predictor.predict_arch(arch))
+
+    def test_normalisation_restored(self, tiny_space, tiny_predictor):
+        state = tiny_predictor.state_dict()
+        clone = MLPPredictor(tiny_space, hidden=(64, 32))
+        clone.load_state_dict(state)
+        assert clone.target_mean == tiny_predictor.target_mean
+        assert clone.target_std == tiny_predictor.target_std
+        assert clone.fitted

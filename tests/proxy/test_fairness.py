@@ -1,0 +1,78 @@
+"""Tests of strict-fairness supernet training (FairNAS protocol)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.proxy.fairness import StrictFairnessTrainer
+from repro.proxy.supernet import SuperNet
+
+
+@pytest.fixture
+def trainer(tiny_space, tiny_task):
+    rng = np.random.default_rng(0)
+    supernet = SuperNet(tiny_space, rng)
+    optimizer = nn.SGD(supernet.parameters(), lr=0.05, momentum=0.9)
+    return StrictFairnessTrainer(supernet, tiny_task, optimizer,
+                                 np.random.default_rng(1))
+
+
+class TestFairRound:
+    def test_round_has_k_models(self, trainer, tiny_space):
+        archs = trainer.sample_fair_round()
+        assert len(archs) == tiny_space.num_operators
+
+    def test_each_operator_appears_exactly_once_per_layer(self, trainer,
+                                                          tiny_space):
+        archs = trainer.sample_fair_round()
+        for layer in range(tiny_space.num_layers):
+            seen = sorted(arch.op_indices[layer] for arch in archs)
+            assert seen == list(range(tiny_space.num_operators))
+
+    def test_rounds_are_random(self, trainer):
+        a = [arch.op_indices for arch in trainer.sample_fair_round()]
+        b = [arch.op_indices for arch in trainer.sample_fair_round()]
+        assert a != b
+
+
+class TestTraining:
+    def test_strict_fairness_invariant(self, trainer, tiny_space):
+        report = trainer.train(rounds=3, batch_size=8)
+        assert report.is_strictly_fair
+        assert np.all(report.update_counts == 3)
+
+    def test_unfair_counts_detected(self):
+        from repro.proxy.fairness import FairnessReport
+
+        counts = np.ones((2, 3), dtype=np.int64)
+        counts[0, 0] = 5
+        assert not FairnessReport(counts, rounds=1, mean_loss=0.0).is_strictly_fair
+
+    def test_loss_decreases_over_rounds(self, tiny_space, tiny_task):
+        rng = np.random.default_rng(2)
+        supernet = SuperNet(tiny_space, rng)
+        optimizer = nn.SGD(supernet.parameters(), lr=0.05, momentum=0.9)
+        trainer = StrictFairnessTrainer(supernet, tiny_task, optimizer,
+                                        np.random.default_rng(3))
+        first = trainer.train_round(batch_size=12)
+        for _ in range(8):
+            last = trainer.train_round(batch_size=12)
+        assert last < first
+
+    def test_every_parameter_updated_after_one_round(self, trainer):
+        """Strict fairness means *all* candidate operators train each round —
+        after one round no parameter keeps its initial value frozen."""
+        before = {name: p.data.copy()
+                  for name, p in trainer.supernet.named_parameters()}
+        trainer.train_round(batch_size=8)
+        moved = 0
+        for name, p in trainer.supernet.named_parameters():
+            if not np.array_equal(before[name], p.data):
+                moved += 1
+        # BN of untouched branches may be static, but conv weights of every
+        # candidate must move; require a large majority of parameters moved
+        assert moved > 0.9 * len(before)
+
+    def test_rounds_validation(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.train(rounds=0)

@@ -1,0 +1,109 @@
+"""Tests of the cell-based (tiled) search space and constrained cell search."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.search_space.cell import CellConstrainedSearch, CellSearchConfig, CellSpace
+from repro.search_space.space import Architecture
+
+
+class TestCellSpace:
+    def test_size_much_smaller_than_layerwise(self, full_space):
+        cell = CellSpace(full_space, cell_size=4)
+        assert cell.size == 7.0 ** 4
+        assert cell.size < full_space.size
+
+    def test_expand_tiles_cyclically(self, full_space):
+        cell = CellSpace(full_space, cell_size=3)
+        arch = cell.expand((0, 1, 2))
+        assert arch.op_indices[:6] == (0, 1, 2, 0, 1, 2)
+        assert len(arch) == full_space.num_layers
+
+    def test_expand_validates_length(self, full_space):
+        with pytest.raises(ValueError):
+            CellSpace(full_space, cell_size=3).expand((0, 1))
+
+    def test_invalid_cell_size(self, full_space):
+        with pytest.raises(ValueError):
+            CellSpace(full_space, cell_size=0)
+        with pytest.raises(ValueError):
+            CellSpace(full_space, cell_size=99)
+
+    def test_cell_size_one_is_uniform(self, full_space):
+        cell = CellSpace(full_space, cell_size=1)
+        arch = cell.expand((5,))
+        assert arch == Architecture((5,) * full_space.num_layers)
+
+    def test_sample_valid(self, full_space, rng):
+        cell = CellSpace(full_space, cell_size=4)
+        full_space.validate(cell.sample(rng))
+
+    def test_expand_gates_matches_discrete(self, full_space):
+        cell = CellSpace(full_space, cell_size=4)
+        choices = (0, 3, 6, 1)
+        one_hot = np.zeros((4, full_space.num_operators))
+        one_hot[np.arange(4), list(choices)] = 1.0
+        expanded = cell.expand_gates(nn.Tensor(one_hot)).data
+        expected = cell.expand(choices).one_hot(full_space.num_operators)
+        assert np.array_equal(expanded, expected)
+
+    def test_expand_gates_differentiable(self, full_space):
+        cell = CellSpace(full_space, cell_size=4)
+        gates = nn.Tensor(np.full((4, 7), 1.0 / 7), requires_grad=True)
+        out = cell.expand_gates(gates)
+        out.sum().backward()
+        # each cell position feeds ⌈L/C⌉ or ⌊L/C⌋ layers
+        assert gates.grad is not None
+        row_sums = gates.grad.sum(axis=1)
+        assert row_sums.sum() == pytest.approx(full_space.num_layers * 7)
+
+    def test_expand_gates_shape_check(self, full_space):
+        cell = CellSpace(full_space, cell_size=4)
+        with pytest.raises(ValueError):
+            cell.expand_gates(nn.Tensor(np.zeros((3, 7))))
+
+
+class TestCellSearch:
+    def test_hits_target_within_cell_expressiveness(self, full_space,
+                                                    full_predictor,
+                                                    full_oracle,
+                                                    full_latency_model):
+        config = CellSearchConfig(cell_size=4, target=24.0, epochs=50,
+                                  steps_per_epoch=30, seed=0)
+        search = CellConstrainedSearch(full_space, config, full_predictor,
+                                       full_oracle)
+        arch, predicted = search.search()
+        full_space.validate(arch)
+        # the tiled space is coarse, so the band is wider than layer-wise
+        assert abs(full_latency_model.latency_ms(arch) - 24.0) < 3.0
+
+    def test_result_is_a_tiling(self, full_space, full_predictor, full_oracle):
+        config = CellSearchConfig(cell_size=4, target=24.0, epochs=25,
+                                  steps_per_epoch=15, seed=1)
+        arch, _ = CellConstrainedSearch(full_space, config, full_predictor,
+                                        full_oracle).search()
+        ops = arch.op_indices
+        for layer, op in enumerate(ops):
+            assert op == ops[layer % 4]
+
+    def test_layerwise_beats_cell_at_matched_latency(
+            self, full_space, full_predictor, full_oracle, full_latency_model):
+        """§3.1's argument, executed: layer diversity wins."""
+        from repro.core.lightnas import LightNAS, LightNASConfig
+
+        target = 24.0
+        cell_config = CellSearchConfig(cell_size=4, target=target, epochs=50,
+                                       steps_per_epoch=30, seed=0)
+        cell_arch, _ = CellConstrainedSearch(
+            full_space, cell_config, full_predictor, full_oracle).search()
+        cell_latency = full_latency_model.latency_ms(cell_arch)
+
+        # search layer-wise at the latency the cell actually achieved
+        config = LightNASConfig.paper(cell_latency, space=full_space, seed=0,
+                                      epochs=50, steps_per_epoch=30)
+        layer_result = LightNAS(config, predictor=full_predictor).search()
+
+        cell_top1 = full_oracle.evaluate(cell_arch).top1
+        layer_top1 = full_oracle.evaluate(layer_result.architecture).top1
+        assert layer_top1 > cell_top1

@@ -1,0 +1,114 @@
+"""Tests of the operator vocabulary and block construction."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.search_space.operators import (
+    LIGHTNAS_OPERATORS,
+    SKIP_INDEX,
+    MBConv,
+    OperatorSpec,
+    SkipConnect,
+    build_operator,
+)
+
+
+class TestVocabulary:
+    def test_seven_candidates(self):
+        assert len(LIGHTNAS_OPERATORS) == 7
+
+    def test_kernel_expansion_grid(self):
+        combos = {(op.kernel_size, op.expansion)
+                  for op in LIGHTNAS_OPERATORS if not op.is_skip}
+        assert combos == {(3, 3), (3, 6), (5, 3), (5, 6), (7, 3), (7, 6)}
+
+    def test_exactly_one_skip(self):
+        skips = [i for i, op in enumerate(LIGHTNAS_OPERATORS) if op.is_skip]
+        assert skips == [SKIP_INDEX]
+
+    def test_names_unique(self):
+        names = [op.name for op in LIGHTNAS_OPERATORS]
+        assert len(set(names)) == len(names)
+
+    def test_spec_str(self):
+        assert str(LIGHTNAS_OPERATORS[0]) == "mbconv_k3_e3"
+
+    def test_spec_hashable_frozen(self):
+        spec = LIGHTNAS_OPERATORS[0]
+        assert spec in {spec}
+        with pytest.raises(Exception):
+            spec.kernel_size = 5
+
+
+class TestMBConv:
+    def test_output_shape_stride1(self):
+        block = MBConv(8, 8, 3, 3, 1, np.random.default_rng(0))
+        assert block(Tensor(np.zeros((2, 8, 6, 6)))).shape == (2, 8, 6, 6)
+
+    def test_output_shape_stride2_channel_change(self):
+        block = MBConv(8, 16, 5, 6, 2, np.random.default_rng(0))
+        assert block(Tensor(np.zeros((1, 8, 8, 8)))).shape == (1, 16, 4, 4)
+
+    def test_residual_only_when_shape_preserved(self):
+        assert MBConv(8, 8, 3, 3, 1, np.random.default_rng(0)).use_residual
+        assert not MBConv(8, 16, 3, 3, 1, np.random.default_rng(0)).use_residual
+        assert not MBConv(8, 8, 3, 3, 2, np.random.default_rng(0)).use_residual
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            MBConv(8, 8, 3, 3, 3, np.random.default_rng(0))
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            MBConv(8, 8, 4, 3, 1, np.random.default_rng(0))
+
+    def test_with_se_adds_parameters(self):
+        rng = np.random.default_rng(0)
+        plain = MBConv(8, 8, 3, 3, 1, rng)
+        with_se = MBConv(8, 8, 3, 3, 1, np.random.default_rng(0), with_se=True)
+        assert with_se.num_parameters() > plain.num_parameters()
+
+    def test_gradient_reaches_all_parameters(self):
+        block = MBConv(4, 4, 3, 3, 1, np.random.default_rng(1))
+        out = block(Tensor(np.random.default_rng(2).normal(size=(2, 4, 5, 5))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestSkipConnect:
+    def test_identity_case(self):
+        skip = SkipConnect(8, 8, 1, np.random.default_rng(0))
+        assert skip.is_identity
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 8, 4, 4)))
+        assert skip(x) is x
+
+    def test_identity_has_no_parameters(self):
+        skip = SkipConnect(8, 8, 1, np.random.default_rng(0))
+        assert skip.num_parameters() == 0
+
+    def test_projection_on_stride(self):
+        skip = SkipConnect(8, 8, 2, np.random.default_rng(0))
+        assert not skip.is_identity
+        assert skip(Tensor(np.zeros((1, 8, 6, 6)))).shape == (1, 8, 3, 3)
+
+    def test_projection_on_channel_change(self):
+        skip = SkipConnect(8, 16, 1, np.random.default_rng(0))
+        assert skip(Tensor(np.zeros((1, 8, 4, 4)))).shape == (1, 16, 4, 4)
+
+
+class TestBuildOperator:
+    def test_builds_mbconv(self):
+        op = build_operator(LIGHTNAS_OPERATORS[0], 8, 8, 1, np.random.default_rng(0))
+        assert isinstance(op, MBConv)
+
+    def test_builds_skip(self):
+        op = build_operator(LIGHTNAS_OPERATORS[SKIP_INDEX], 8, 8, 1,
+                            np.random.default_rng(0))
+        assert isinstance(op, SkipConnect)
+
+    @pytest.mark.parametrize("k", range(len(LIGHTNAS_OPERATORS)))
+    def test_all_candidates_type_check(self, k):
+        op = build_operator(LIGHTNAS_OPERATORS[k], 8, 16, 2, np.random.default_rng(0))
+        out = op(Tensor(np.zeros((1, 8, 8, 8))))
+        assert out.shape == (1, 16, 4, 4)
