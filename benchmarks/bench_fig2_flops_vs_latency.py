@@ -2,29 +2,29 @@
 
 Regenerates the scatter of the paper's motivational figure on the simulated
 Xavier: 1,000 random architectures, their multi-add counts, and measured
-latency/energy.  Reports the correlation and, as the paper highlights, the
-FLOPs spread among architectures with (nearly) the same latency or energy.
+latency/energy — all three computed with the population-scale batch APIs
+(one op-index matrix in, one metric vector out).
 
-The timed kernel is the analytic latency evaluation itself — the operation
-the figure's x-axis is built from.
+The timed kernel is the batched population latency evaluation itself — the
+operation the figure's x-axis is built from.
 """
 
 import numpy as np
 
 from conftest import emit
 from repro.experiments.reporting import render_table, save_json
-from repro.hardware.flops import count_macs
+from repro.hardware.flops import count_macs_many
 
 NUM_ARCHS = 1000
 
 
 def test_fig2_flops_vs_latency_and_energy(ctx, benchmark):
     rng = np.random.default_rng(2)
-    archs = ctx.space.sample_many(NUM_ARCHS, rng)
+    ops = ctx.space.sample_indices(NUM_ARCHS, rng)
 
-    latencies = np.array([ctx.latency_model.latency_ms(a) for a in archs])
-    energies = np.array([ctx.energy_model.energy_mj(a) for a in archs])
-    macs = np.array([count_macs(ctx.space, a) for a in archs]) / 1e6
+    latencies = ctx.latency_model.latency_many(ops)
+    energies = ctx.energy_model.energy_many(ops)
+    macs = count_macs_many(ctx.space, ops) / 1e6
 
     lat_corr = float(np.corrcoef(macs, latencies)[0, 1])
     en_corr = float(np.corrcoef(macs, energies)[0, 1])
@@ -60,4 +60,4 @@ def test_fig2_flops_vs_latency_and_energy(ctx, benchmark):
     assert 0.4 < en_corr < 0.98
     assert lat_spread > 1.15
 
-    benchmark(ctx.latency_model.latency_ms, archs[0])
+    benchmark(ctx.latency_model.latency_many, ops)

@@ -1,0 +1,207 @@
+"""Performance baseline for the population-scale hot paths (BENCH_perf.json).
+
+Times the three operations every large experiment funnels through —
+
+* population latency evaluation (`LatencyModel.latency_many`),
+* the predictor measurement-campaign collection (`collect_latency_dataset`),
+* batched `MLPPredictor.predict` scoring,
+
+— against faithful reimplementations of the pre-cost-table scalar loops
+(per-architecture Python iteration, per-call roofline re-derivation).  The
+results are persisted as ``benchmarks/results/BENCH_perf.json`` so future
+PRs have a perf trajectory to regress against.
+
+Run standalone (no fitted campaign predictor needed)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --pop-n 200 \
+        --campaign-n 100 --predict-n 200        # CI smoke
+
+``--check`` additionally asserts the acceptance thresholds (>= 50x on
+population latency eval, >= 5x on campaign collection); only meaningful at
+the default population sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.hardware.latency import LatencyModel
+from repro.predictor.dataset import PredictorDataset, collect_latency_dataset
+from repro.predictor.mlp import MLPPredictor
+from repro.search_space.space import Architecture, SearchSpace
+
+
+def _best_of(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Pre-PR scalar reference implementations (per-architecture Python loops,
+# rooflines re-derived on every call — the historical hot path).
+# ----------------------------------------------------------------------
+def scalar_latency_ms(model: LatencyModel, arch: Architecture) -> float:
+    total = model._fixed_ms + model.device.network_overhead_ms
+    for geom, op_index in zip(model._geoms, arch.op_indices):
+        total += model.op_latency_ms(model.space.operators[op_index], geom)
+    total -= model.device.fusion_saving_ms * model._fusion_pairs(arch)
+    return max(total, 0.1)
+
+
+def scalar_measure(model: LatencyModel, arch: Architecture,
+                   rng: np.random.Generator) -> float:
+    true = scalar_latency_ms(model, arch)
+    noise = rng.normal(0.0, model.device.latency_noise_ms)
+    noise += true * rng.normal(0.0, model.device.latency_noise_rel)
+    return max(true + noise, 0.01)
+
+
+def scalar_campaign(model: LatencyModel, count: int,
+                    rng: np.random.Generator) -> PredictorDataset:
+    space = model.space
+    archs = [space.sample(rng) for _ in range(count)]
+    targets = np.array([scalar_measure(model, a, rng) for a in archs])
+    features = np.stack(
+        [a.one_hot(space.num_operators).reshape(-1) for a in archs])
+    return PredictorDataset(features, targets, archs)
+
+
+# ----------------------------------------------------------------------
+def bench_population_latency(model: LatencyModel, count: int) -> dict:
+    space = model.space
+    ops = space.sample_indices(count, np.random.default_rng(0))
+    archs = space.indices_to_archs(ops)
+
+    scalar_s = _best_of(
+        lambda: [scalar_latency_ms(model, a) for a in archs], repeat=1)
+    vector_s = _best_of(lambda: model.latency_many(ops))
+
+    scalar_out = np.array([scalar_latency_ms(model, a) for a in archs])
+    assert np.array_equal(scalar_out, model.latency_many(ops)), \
+        "vectorized population latency diverged from the scalar path"
+
+    return {
+        "num_archs": count,
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "scalar_archs_per_sec": count / scalar_s,
+        "vectorized_archs_per_sec": count / vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+
+
+def bench_campaign_collection(model: LatencyModel, count: int) -> dict:
+    scalar_s = _best_of(
+        lambda: scalar_campaign(model, count, np.random.default_rng(42)),
+        repeat=1)
+    vector_s = _best_of(
+        lambda: collect_latency_dataset(model, count, np.random.default_rng(42)))
+
+    old = scalar_campaign(model, count, np.random.default_rng(42))
+    new = collect_latency_dataset(model, count, np.random.default_rng(42))
+    assert np.array_equal(old.targets, new.targets), \
+        "vectorized campaign changed seeded measurement targets"
+
+    return {
+        "num_archs": count,
+        "scalar_wall_seconds": scalar_s,
+        "vectorized_wall_seconds": vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+
+
+def bench_predictor_predict(space: SearchSpace, count: int) -> dict:
+    # Throughput does not depend on fit quality, so an initialised (unfitted)
+    # predictor measures the same GEMM path without a campaign.
+    predictor = MLPPredictor(space, seed=0)
+    predictor._refresh_fast_weights()
+    ops = space.sample_indices(count, np.random.default_rng(1))
+    archs = space.indices_to_archs(ops)
+    features = space.encode_many(ops)
+
+    scalar_s = _best_of(
+        lambda: [predictor.predict_arch(a) for a in archs], repeat=1)
+    batched_s = _best_of(lambda: predictor.predict(features))
+    end_to_end_s = _best_of(lambda: predictor.predict_population(ops))
+
+    return {
+        "num_archs": count,
+        "per_arch_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "encode_plus_batched_seconds": end_to_end_s,
+        "per_arch_archs_per_sec": count / scalar_s,
+        "batched_archs_per_sec": count / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def run(pop_n: int, campaign_n: int, predict_n: int, check: bool) -> dict:
+    space = SearchSpace()
+    model = LatencyModel(space)
+
+    results = {
+        "population_latency_eval": bench_population_latency(model, pop_n),
+        "campaign_collection": bench_campaign_collection(model, campaign_n),
+        "predictor_predict": bench_predictor_predict(space, predict_n),
+    }
+
+    if check:
+        pop = results["population_latency_eval"]["speedup"]
+        camp = results["campaign_collection"]["speedup"]
+        assert pop >= 50.0, f"population latency speedup {pop:.1f}x < 50x"
+        assert camp >= 5.0, f"campaign collection speedup {camp:.1f}x < 5x"
+
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pop-n", type=int, default=10_000,
+                        help="architectures in the population-latency benchmark")
+    parser.add_argument("--campaign-n", type=int, default=10_000,
+                        help="architectures in the campaign-collection benchmark")
+    parser.add_argument("--predict-n", type=int, default=10_000,
+                        help="architectures in the predictor-throughput benchmark")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the acceptance speedup thresholds")
+    args = parser.parse_args()
+
+    results = run(args.pop_n, args.campaign_n, args.predict_n, args.check)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    rows = [
+        ["population latency eval",
+         results["population_latency_eval"]["num_archs"],
+         f"{results['population_latency_eval']['scalar_seconds']:.3f}",
+         f"{results['population_latency_eval']['vectorized_seconds']:.4f}",
+         f"x{results['population_latency_eval']['speedup']:.0f}"],
+        ["campaign collection",
+         results["campaign_collection"]["num_archs"],
+         f"{results['campaign_collection']['scalar_wall_seconds']:.3f}",
+         f"{results['campaign_collection']['vectorized_wall_seconds']:.4f}",
+         f"x{results['campaign_collection']['speedup']:.0f}"],
+        ["MLPPredictor.predict",
+         results["predictor_predict"]["num_archs"],
+         f"{results['predictor_predict']['per_arch_seconds']:.3f}",
+         f"{results['predictor_predict']['batched_seconds']:.4f}",
+         f"x{results['predictor_predict']['speedup']:.0f}"],
+    ]
+    print(render_table(
+        ["hot path", "N", "scalar (s)", "vectorized (s)", "speedup"], rows,
+        title="Population-scale hot paths — scalar loop vs batch APIs"))
+    path = save_json("BENCH_perf", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 CI: the full test suite plus a smoke run of the perf benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+python -m pytest -x -q
+
+# Tiny-N smoke of the hot-path benchmark: exercises the scalar/vectorized
+# parity assertions and the BENCH_perf.json writer without the full N=10k
+# timing run (speedup thresholds are only checked at full size).
+python benchmarks/bench_perf_hotpaths.py --pop-n 200 --campaign-n 100 --predict-n 200

@@ -92,12 +92,55 @@ class EvolutionSearch:
             indices[layer] = self.space.skip_index
         return Architecture(tuple(indices))
 
+    def _random_feasible_population(self, count: int) -> List[Architecture]:
+        """Draw ``count`` feasible individuals by batched rejection.
+
+        Candidates are sampled and feasibility-scored a population at a
+        time (one predictor forward per batch) instead of one predictor
+        call per rejection sample.
+        """
+        feasible: List[Architecture] = []
+        budget = self.config.max_rejects * count
+        drawn = 0
+        batch = max(2 * count, 32)
+        while len(feasible) < count and drawn < budget:
+            ops = self.space.sample_indices(batch, self.rng)
+            drawn += batch
+            preds = self.predictor.predict_population(ops)
+            for row in ops[preds <= self.config.target].tolist():
+                feasible.append(Architecture(tuple(row)))
+                if len(feasible) == count:
+                    break
+        while len(feasible) < count:  # rejection exhausted: thin with skips
+            feasible.append(self._random_feasible())
+        return feasible
+
+    def _mutate_feasible(self, parent: Architecture) -> Optional[Architecture]:
+        """First feasible single-op mutant of ``parent``, scored in batches."""
+        parent_ops = np.asarray(parent.op_indices, dtype=np.int64)
+        num_ops = self.space.num_operators
+        remaining = self.config.max_rejects
+        while remaining > 0:
+            batch = min(remaining, 64)
+            remaining -= batch
+            candidates = np.tile(parent_ops, (batch, 1))
+            layers = self.rng.integers(len(parent_ops), size=batch)
+            # uniform over the K−1 operators that differ from the parent's
+            shifts = self.rng.integers(1, num_ops, size=batch)
+            candidates[np.arange(batch), layers] = (
+                (candidates[np.arange(batch), layers] + shifts) % num_ops
+            )
+            preds = self.predictor.predict_population(candidates)
+            hits = np.nonzero(preds <= self.config.target)[0]
+            if hits.size:
+                return Architecture(tuple(candidates[hits[0]].tolist()))
+        return None
+
     # ------------------------------------------------------------------
     def search(self, verbose: bool = False) -> SearchResult:
         cfg = self.config
         population: Deque[Tuple[Architecture, float]] = deque()
-        for _ in range(cfg.population_size):
-            arch = self._random_feasible()
+        for arch in self._random_feasible_population(cfg.population_size):
             population.append((arch, self._fitness(arch)))
 
         trajectory = SearchTrajectory()
@@ -111,12 +154,7 @@ class EvolutionSearch:
                                          replace=False)
             ]
             parent = max(contestants, key=lambda item: item[1])[0]
-            child = None
-            for _ in range(cfg.max_rejects):
-                candidate = parent.mutate(self.rng, self.space.num_operators)
-                if self._feasible(candidate):
-                    child = candidate
-                    break
+            child = self._mutate_feasible(parent)
             if child is None:
                 continue
             fit = self._fitness(child)

@@ -47,17 +47,16 @@ class RandomSearch:
         trajectory = SearchTrajectory()
         best: Optional[Architecture] = None
         best_top1 = -np.inf
-        feasible = 0
-        for i in range(cfg.num_samples):
-            arch = self.space.sample(self.rng)
-            if self.predictor.predict_arch(arch) > cfg.target:
-                continue
-            feasible += 1
+        # Sample and feasibility-score the whole population in one shot;
+        # only the survivors pay the (per-architecture) quick evaluation.
+        ops = self.space.sample_indices(cfg.num_samples, self.rng)
+        preds = self.predictor.predict_population(ops)
+        for i in np.nonzero(preds <= cfg.target)[0]:
+            arch = Architecture(tuple(ops[i].tolist()))
             top1 = self.oracle.evaluate(arch, epochs=50).top1
             if top1 > best_top1:
                 best, best_top1 = arch, top1
-                trajectory.record(i, self.predictor.predict_arch(arch), 0.0,
-                                  -top1, 0.0, arch)
+                trajectory.record(int(i), float(preds[i]), 0.0, -top1, 0.0, arch)
                 if verbose:
                     print(f"[random] sample {i:5d} new best top-1 {top1:.2f}")
         if best is None:

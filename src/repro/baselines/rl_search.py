@@ -60,13 +60,28 @@ class RLSearch:
         self.rng = np.random.default_rng(config.seed)
 
     # ------------------------------------------------------------------
+    def _latency_penalty(self, top1: float, latency: float) -> float:
+        """MnasNet hard-constraint reward: penalise only above the target."""
+        if latency <= self.config.target:
+            return top1
+        return top1 * (latency / self.config.target) ** self.config.reward_exponent
+
     def _reward(self, arch: Architecture) -> float:
         """MnasNet reward: quick-eval accuracy × latency penalty."""
         top1 = self.oracle.evaluate(arch, epochs=50).top1 / 100.0
         latency = self.latency_model.measure(arch, self.rng)
-        if latency <= self.config.target:
-            return top1
-        return top1 * (latency / self.config.target) ** self.config.reward_exponent
+        return self._latency_penalty(top1, latency)
+
+    def _sample_batch(self, probs: np.ndarray, count: int) -> np.ndarray:
+        """Sample ``count`` architectures from the factorised policy.
+
+        Inverse-CDF sampling over one ``(count, L)`` uniform block replaces
+        ``count × L`` sequential ``rng.choice`` calls.
+        """
+        cdf = probs.cumsum(axis=1)
+        u = self.rng.random((count, probs.shape[0]))
+        ops = (u[:, :, None] > cdf[None, :, :]).sum(axis=2)
+        return np.minimum(ops, probs.shape[1] - 1)
 
     def search(self, verbose: bool = False) -> SearchResult:
         cfg = self.config
@@ -81,13 +96,14 @@ class RLSearch:
             probs = np.exp(logits - logits.max(axis=1, keepdims=True))
             probs /= probs.sum(axis=1, keepdims=True)
             grad = np.zeros_like(logits)
-            for _ in range(cfg.batch_archs):
-                choices = [
-                    int(self.rng.choice(self.space.num_operators, p=probs[l]))
-                    for l in range(self.space.num_layers)
-                ]
+            batch_ops = self._sample_batch(probs, cfg.batch_archs)
+            # One on-device measurement sweep for the whole batch; only the
+            # accuracy oracle (a per-network training run) stays per-arch.
+            latencies = self.latency_model.measure_many(batch_ops, self.rng)
+            for choices, latency in zip(batch_ops.tolist(), latencies):
                 arch = Architecture(tuple(choices))
-                reward = self._reward(arch)
+                top1 = self.oracle.evaluate(arch, epochs=50).top1 / 100.0
+                reward = self._latency_penalty(top1, float(latency))
                 evaluations += 1
                 if reward > best_reward:
                     best_arch, best_reward = arch, reward
@@ -97,9 +113,8 @@ class RLSearch:
                     + (1 - cfg.baseline_momentum) * reward
                 )
                 # ∇ log π for a factorised categorical policy
-                for l, k in enumerate(choices):
-                    grad[l] -= probs[l] * advantage
-                    grad[l, k] += advantage
+                grad -= probs * advantage
+                grad[np.arange(len(choices)), choices] += advantage
             logits += cfg.policy_lr * grad / cfg.batch_archs
             if iteration % 25 == 0:
                 current = Architecture(tuple(int(i) for i in logits.argmax(axis=1)))

@@ -22,8 +22,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["FrontPoint", "dominates", "pareto_front", "hypervolume_2d",
-           "front_gap"]
+__all__ = ["FrontPoint", "dominates", "pareto_mask", "pareto_front",
+           "hypervolume_2d", "front_gap"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,31 @@ def dominates(a: FrontPoint, b: FrontPoint) -> bool:
             and (a.cost < b.cost or a.quality > b.quality))
 
 
+def pareto_mask(costs: np.ndarray, qualities: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated subset of a population.
+
+    Vectorized sweep: sort by (cost asc, quality desc) — a point is on the
+    front iff its quality strictly exceeds every cheaper-or-equal point seen
+    before it.  Duplicate-coordinate points keep only their first occurrence
+    (in input order), matching :func:`pareto_front`.  ``O(N log N)`` with no
+    per-point Python loop, so population-scale sweeps (Figure 9, Table 2)
+    can score hundreds of thousands of candidates.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    qualities = np.asarray(qualities, dtype=np.float64)
+    if costs.shape != qualities.shape or costs.ndim != 1:
+        raise ValueError("costs and qualities must be equal-length 1-D arrays")
+    if len(costs) == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.lexsort((-qualities, costs))
+    sorted_quality = qualities[order]
+    best_before = np.concatenate(([-np.inf],
+                                  np.maximum.accumulate(sorted_quality)[:-1]))
+    mask = np.zeros(len(costs), dtype=bool)
+    mask[order[sorted_quality > best_before]] = True
+    return mask
+
+
 def pareto_front(points: Sequence[FrontPoint]) -> List[FrontPoint]:
     """The non-dominated subset, sorted by ascending cost.
 
@@ -48,14 +73,10 @@ def pareto_front(points: Sequence[FrontPoint]) -> List[FrontPoint]:
     """
     if not points:
         return []
-    ordered = sorted(points, key=lambda p: (p.cost, -p.quality))
-    front: List[FrontPoint] = []
-    best_quality = -np.inf
-    for point in ordered:
-        if point.quality > best_quality:
-            front.append(point)
-            best_quality = point.quality
-    return front
+    costs = np.array([p.cost for p in points], dtype=np.float64)
+    qualities = np.array([p.quality for p in points], dtype=np.float64)
+    keep = np.nonzero(pareto_mask(costs, qualities))[0]
+    return [points[i] for i in keep[np.argsort(costs[keep], kind="stable")]]
 
 
 def hypervolume_2d(points: Sequence[FrontPoint],

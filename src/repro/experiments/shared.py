@@ -71,10 +71,29 @@ def _save_predictor(predictor: MLPPredictor, path: str, rmse: float) -> None:
 def _load_predictor(space: SearchSpace, path: str) -> Optional[tuple]:
     if not os.path.exists(path):
         return None
-    data = dict(np.load(path))
+    try:
+        data = dict(np.load(path))
+    except Exception as exc:
+        raise RuntimeError(
+            f"predictor cache {path!r} is unreadable ({exc}); delete the file "
+            f"to re-run the measurement campaign"
+        ) from exc
+    if "__rmse" not in data:
+        raise RuntimeError(
+            f"predictor cache {path!r} has no '__rmse' entry — it was written "
+            f"by an incompatible version or is corrupt; delete the file to "
+            f"re-run the measurement campaign"
+        )
     rmse = float(data.pop("__rmse"))
     predictor = MLPPredictor(space)
-    predictor.load_state_dict(data)
+    try:
+        predictor.load_state_dict(data)
+    except KeyError as exc:
+        raise RuntimeError(
+            f"predictor cache {path!r} is missing parameter {exc}; it does not "
+            f"match this space/predictor — delete the file to re-run the "
+            f"measurement campaign"
+        ) from exc
     return predictor, rmse
 
 

@@ -8,7 +8,20 @@ MLP predictor against.
 
 from .device import EDGE_NANO, XAVIER_MAXN, DeviceProfile
 from .energy import EnergyMeter, EnergyModel
-from .flops import OpCost, arch_cost, count_macs, count_params, fixed_cost, op_cost
+from .flops import (
+    CostTables,
+    OpCost,
+    PopulationCost,
+    arch_cost,
+    arch_cost_many,
+    cost_tables,
+    count_macs,
+    count_macs_many,
+    count_params,
+    count_params_many,
+    fixed_cost,
+    op_cost,
+)
 from .latency import LatencyModel
 from .lut import LatencyLUT
 from .measurement import MeasurementProtocol, MeasurementReport, measure_latency_campaign
@@ -25,9 +38,15 @@ __all__ = [
     "MeasurementReport",
     "measure_latency_campaign",
     "OpCost",
+    "CostTables",
+    "PopulationCost",
     "op_cost",
     "fixed_cost",
+    "cost_tables",
     "arch_cost",
+    "arch_cost_many",
     "count_macs",
     "count_params",
+    "count_macs_many",
+    "count_params_many",
 ]

@@ -15,9 +15,8 @@ heating device.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
+from scipy.signal import lfilter
 
 from ..search_space.space import Architecture, SearchSpace
 from . import flops
@@ -41,6 +40,25 @@ class EnergyModel:
         d = self.device
         latency = self.latency_model.latency_ms(arch, with_se_last=with_se_last)
         cost = flops.arch_cost(self.space, arch, with_se_last=with_se_last)
+        gmacs = d.batch_size * cost.macs / 1e9
+        gbytes = d.batch_size * cost.mem_bytes / 1e9
+        return (
+            d.static_power_w * latency
+            + d.energy_per_gmac_mj * gmacs
+            + d.energy_per_gb_mj * gbytes
+        )
+
+    def energy_many(self, archs, with_se_last: int = 0) -> np.ndarray:
+        """True energy of a population: ``(N, L)`` op indices → ``(N,)`` mJ.
+
+        The cost terms are exact integer gather-sums and the latency term
+        reuses :meth:`LatencyModel.latency_many`, so this agrees bit-for-bit
+        with per-architecture :meth:`energy_mj` calls.
+        """
+        d = self.device
+        ops = self.space.as_index_matrix(archs)
+        latency = self.latency_model.latency_many(ops, with_se_last=with_se_last)
+        cost = flops.arch_cost_many(self.space, ops, with_se_last=with_se_last)
         gmacs = d.batch_size * cost.macs / 1e9
         gbytes = d.batch_size * cost.mem_bytes / 1e9
         return (
@@ -76,5 +94,26 @@ class EnergyMeter:
         true = self.model.energy_mj(arch)
         return max(true + self._drift + self.rng.normal(0.0, d.energy_noise_mj), 0.1)
 
-    def measure_many(self, archs: Sequence[Architecture]) -> np.ndarray:
-        return np.array([self.measure(a) for a in archs])
+    def measure_many(self, archs) -> np.ndarray:
+        """Measure a population under one continuous drift trajectory.
+
+        Noise is drawn as a C-order ``(N, 2)`` standard-normal block, which
+        consumes the generator exactly like the scalar path's interleaved
+        per-architecture (drift, white) draws; the AR(1) drift recurrence is
+        evaluated with a single IIR filter whose arithmetic matches the
+        scalar update ``rho·drift + eps`` term-for-term.  Seeded campaigns
+        are therefore bit-identical to a loop of :meth:`measure` calls, and
+        the meter's drift state advances as if each architecture had been
+        measured in sequence.
+        """
+        d = self.model.device
+        true = self.model.energy_many(archs)
+        if len(true) == 0:
+            return true
+        z = self.rng.standard_normal((len(true), 2))
+        eps = z[:, 0] * d.energy_drift_mj
+        white = z[:, 1] * d.energy_noise_mj
+        drift, _ = lfilter([1.0], [1.0, -d.energy_drift_rho], eps,
+                           zi=[d.energy_drift_rho * self._drift])
+        self._drift = float(drift[-1])
+        return np.maximum(true + drift + white, 0.1)

@@ -19,11 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..search_space.macro import LayerGeometry, MacroConfig
 from ..search_space.operators import OperatorSpec
 from ..search_space.space import Architecture, SearchSpace
 
-__all__ = ["OpCost", "op_cost", "fixed_cost", "arch_cost", "count_macs", "count_params"]
+__all__ = ["OpCost", "CostTables", "PopulationCost", "op_cost", "fixed_cost",
+           "cost_tables", "arch_cost", "arch_cost_many", "count_macs",
+           "count_params", "count_macs_many", "count_params_many"]
 
 BYTES_PER_VALUE = 2  # fp16 deployment datatype
 
@@ -137,6 +141,80 @@ def fixed_cost(macro: MacroConfig) -> OpCost:
     return stem + first + head_conv + classifier
 
 
+@dataclass(frozen=True)
+class CostTables:
+    """Per-(layer, operator) cost tables of one search space.
+
+    Each array has shape ``(L, K)`` (int64); the ``*_se`` variants price the
+    operator with a Squeeze-and-Excitation block appended.  ``fixed`` is the
+    cost of the non-searchable parts.  Costs are additive over layers, so
+    any architecture's total cost is ``fixed`` plus one gather-sum — the
+    basis of every population-scale counter below.
+    """
+
+    macs: np.ndarray
+    params: np.ndarray
+    mem_bytes: np.ndarray
+    macs_se: np.ndarray
+    params_se: np.ndarray
+    mem_bytes_se: np.ndarray
+    fixed: OpCost
+
+    def gather(self, field: str, ops: np.ndarray, with_se_last: int = 0) -> np.ndarray:
+        """Sum one cost field over an ``(N, L)`` op-index matrix → ``(N,)``."""
+        base = getattr(self, field)
+        table = base
+        if with_se_last > 0:
+            table = base.copy()
+            table[len(base) - with_se_last:] = getattr(self, field + "_se")[
+                len(base) - with_se_last:]
+        per_layer = table[np.arange(ops.shape[1])[None, :], ops]
+        return per_layer.sum(axis=1) + getattr(self.fixed, field)
+
+
+@dataclass(frozen=True)
+class PopulationCost:
+    """Batched :class:`OpCost`: ``(N,)`` int64 arrays, aligned by row."""
+
+    macs: np.ndarray
+    params: np.ndarray
+    mem_bytes: np.ndarray
+
+    @property
+    def flops(self) -> np.ndarray:
+        return 2 * self.macs
+
+
+def cost_tables(space: SearchSpace) -> CostTables:
+    """Build (or fetch the cached) per-(layer, operator) cost tables.
+
+    The tables are a pure function of the space's geometry and operator
+    vocabulary, so they are computed once and memoised on the space
+    instance; all scalar and population cost queries are lookups afterwards.
+    """
+    cached = getattr(space, "_cost_tables", None)
+    if cached is not None:
+        return cached
+    geoms = space.layer_geometries()
+    shape = (space.num_layers, space.num_operators)
+    arrays = {name: np.zeros(shape, dtype=np.int64)
+              for name in ("macs", "params", "mem_bytes",
+                           "macs_se", "params_se", "mem_bytes_se")}
+    for l, geom in enumerate(geoms):
+        for k, spec in enumerate(space.operators):
+            base = op_cost(spec, geom)
+            se = op_cost(spec, geom, with_se=True)
+            arrays["macs"][l, k] = base.macs
+            arrays["params"][l, k] = base.params
+            arrays["mem_bytes"][l, k] = base.mem_bytes
+            arrays["macs_se"][l, k] = se.macs
+            arrays["params_se"][l, k] = se.params
+            arrays["mem_bytes_se"][l, k] = se.mem_bytes
+    tables = CostTables(fixed=fixed_cost(space.macro), **arrays)
+    space._cost_tables = tables
+    return tables
+
+
 def arch_cost(space: SearchSpace, arch: Architecture, with_se_last: int = 0) -> OpCost:
     """Total cost of an architecture, including the fixed parts.
 
@@ -144,12 +222,34 @@ def arch_cost(space: SearchSpace, arch: Architecture, with_se_last: int = 0) -> 
     searchable layers (Table-4 ablation applies it to the last nine).
     """
     space.validate(arch)
-    total = fixed_cost(space.macro)
-    geoms = space.layer_geometries()
-    se_start = len(geoms) - with_se_last
-    for i, (geom, op_index) in enumerate(zip(geoms, arch.op_indices)):
-        total = total + op_cost(space.operators[op_index], geom, with_se=i >= se_start)
-    return total
+    tables = cost_tables(space)
+    se_start = space.num_layers - with_se_last
+    macs, params, mem = tables.fixed.macs, tables.fixed.params, tables.fixed.mem_bytes
+    for i, op_index in enumerate(arch.op_indices):
+        if i >= se_start:
+            macs += int(tables.macs_se[i, op_index])
+            params += int(tables.params_se[i, op_index])
+            mem += int(tables.mem_bytes_se[i, op_index])
+        else:
+            macs += int(tables.macs[i, op_index])
+            params += int(tables.params[i, op_index])
+            mem += int(tables.mem_bytes[i, op_index])
+    return OpCost(macs=macs, params=params, mem_bytes=mem)
+
+
+def arch_cost_many(space: SearchSpace, archs, with_se_last: int = 0) -> PopulationCost:
+    """Batched :func:`arch_cost` over an ``(N, L)`` op-index matrix.
+
+    Integer sums are exact regardless of association, so this agrees with
+    the scalar path to the last bit.
+    """
+    ops = space.as_index_matrix(archs)
+    tables = cost_tables(space)
+    return PopulationCost(
+        macs=tables.gather("macs", ops, with_se_last),
+        params=tables.gather("params", ops, with_se_last),
+        mem_bytes=tables.gather("mem_bytes", ops, with_se_last),
+    )
 
 
 def count_macs(space: SearchSpace, arch: Architecture) -> int:
@@ -160,3 +260,13 @@ def count_macs(space: SearchSpace, arch: Architecture) -> int:
 def count_params(space: SearchSpace, arch: Architecture) -> int:
     """Learnable parameter count of the stand-alone network."""
     return arch_cost(space, arch).params
+
+
+def count_macs_many(space: SearchSpace, archs) -> np.ndarray:
+    """Batched :func:`count_macs`: ``(N, L)`` op indices → ``(N,)`` int64."""
+    return arch_cost_many(space, archs).macs
+
+
+def count_params_many(space: SearchSpace, archs) -> np.ndarray:
+    """Batched :func:`count_params`: ``(N, L)`` op indices → ``(N,)`` int64."""
+    return arch_cost_many(space, archs).params

@@ -51,6 +51,17 @@ class LatencyModel:
         self.device = device
         self._geoms = space.layer_geometries()
         self._fixed_ms = self._fixed_latency_ms()
+        # Per-(layer, operator) latency is fixed for a given device, so the
+        # roofline is evaluated exactly once per cell here; every scalar and
+        # population query below is a table lookup.
+        num_layers, num_ops = space.num_layers, space.num_operators
+        self.op_table = np.empty((num_layers, num_ops), dtype=np.float64)
+        self.op_table_se = np.empty((num_layers, num_ops), dtype=np.float64)
+        for l, geom in enumerate(self._geoms):
+            for k, spec in enumerate(space.operators):
+                self.op_table[l, k] = self.op_latency_ms(spec, geom)
+                self.op_table_se[l, k] = self.op_latency_ms(spec, geom, with_se=True)
+        self._skip_index = space.skip_index
 
     # ------------------------------------------------------------------
     # Kernel-level model
@@ -123,16 +134,38 @@ class LatencyModel:
             1 for a, b in zip(ops[:-1], ops[1:]) if a != skip and b != skip
         )
 
+    def _layer_table(self, layer: int, with_se_last: int) -> np.ndarray:
+        """The (K,)-row of per-operator latencies effective at ``layer``."""
+        if layer >= self.space.num_layers - with_se_last:
+            return self.op_table_se[layer]
+        return self.op_table[layer]
+
     def latency_ms(self, arch: Architecture, with_se_last: int = 0) -> float:
         """True whole-network latency (noise-free)."""
         self.space.validate(arch)
         total = self._fixed_ms + self.device.network_overhead_ms
-        se_start = len(self._geoms) - with_se_last
-        for i, (geom, op_index) in enumerate(zip(self._geoms, arch.op_indices)):
-            total += self.op_latency_ms(self.space.operators[op_index], geom,
-                                        with_se=i >= se_start)
+        for i, op_index in enumerate(arch.op_indices):
+            total += self._layer_table(i, with_se_last)[op_index]
         total -= self.device.fusion_saving_ms * self._fusion_pairs(arch)
         return max(total, 0.1)
+
+    def latency_many(self, archs, with_se_last: int = 0) -> np.ndarray:
+        """True latency of a population: ``(N, L)`` op indices → ``(N,)`` ms.
+
+        Accepts an op-index matrix or a sequence of Architectures.  The
+        accumulation walks layers left-to-right (a loop over L, never over
+        N) so each architecture's floating-point sum is performed in exactly
+        the order of the scalar path — :meth:`latency_ms` and this method
+        agree bit-for-bit, which keeps seeded measurement campaigns stable.
+        """
+        ops = self.space.as_index_matrix(archs)
+        totals = np.full(ops.shape[0], self._fixed_ms + self.device.network_overhead_ms)
+        for layer in range(ops.shape[1]):
+            totals += self._layer_table(layer, with_se_last)[ops[:, layer]]
+        skip = self._skip_index
+        fusion_pairs = ((ops[:, :-1] != skip) & (ops[:, 1:] != skip)).sum(axis=1)
+        totals -= self.device.fusion_saving_ms * fusion_pairs
+        return np.maximum(totals, 0.1)
 
     # ------------------------------------------------------------------
     # Measurement (what the predictor pipeline consumes)
@@ -145,10 +178,20 @@ class LatencyModel:
         noise += true * rng.normal(0.0, self.device.latency_noise_rel)
         return max(true + noise, 0.01)
 
-    def measure_many(self, archs: Sequence[Architecture],
-                     rng: np.random.Generator) -> np.ndarray:
-        """Measure a batch of architectures (one trial each)."""
-        return np.array([self.measure(a, rng) for a in archs])
+    def measure_many(self, archs, rng: np.random.Generator,
+                     with_se_last: int = 0) -> np.ndarray:
+        """Measure a population (one trial each) without a per-arch loop.
+
+        The two noise terms are drawn as one C-order ``(N, 2)`` standard
+        normal block, which consumes the generator exactly like the scalar
+        path's interleaved ``normal(0, abs)`` / ``normal(0, rel)`` calls —
+        seeded campaigns produce bit-identical measurements either way.
+        """
+        true = self.latency_many(archs, with_se_last=with_se_last)
+        z = rng.standard_normal((len(true), 2))
+        noise = z[:, 0] * self.device.latency_noise_ms
+        noise += true * (z[:, 1] * self.device.latency_noise_rel)
+        return np.maximum(true + noise, 0.01)
 
     def measure_isolated_op(self, spec: OperatorSpec, geom: LayerGeometry,
                             rng: np.random.Generator) -> float:

@@ -16,8 +16,6 @@ bias-removal step so benchmarks can report both numbers.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from ..search_space.space import Architecture, SearchSpace
@@ -45,15 +43,16 @@ class LatencyLUT:
             raise ValueError("trials must be >= 1")
         self.space: SearchSpace = latency_model.space
         self.latency_model = latency_model
-        geoms = self.space.layer_geometries()
-        self.table = np.zeros((self.space.num_layers, self.space.num_operators))
-        for l, geom in enumerate(geoms):
-            for k, spec in enumerate(self.space.operators):
-                samples = [
-                    latency_model.measure_isolated_op(spec, geom, rng)
-                    for _ in range(trials)
-                ]
-                self.table[l, k] = float(np.mean(samples))
+        # Noise-free isolated latency of every cell is one table away
+        # (op_table + synchronisation overhead); all trials' measurement
+        # noise is drawn as one C-order (L, K, trials) block, matching the
+        # scalar loop's per-cell draw order bit-for-bit.
+        true_isolated = (latency_model.op_table
+                         + latency_model.device.isolated_overhead_ms)
+        noise = (rng.standard_normal((*true_isolated.shape, trials))
+                 * latency_model.device.latency_noise_ms)
+        samples = np.maximum(true_isolated[:, :, None] + noise, 0.0)
+        self.table = samples.mean(axis=2)
         # Fixed parts are measured once as a block (stem + head + overhead).
         self.fixed_ms = latency_model._fixed_ms + latency_model.device.network_overhead_ms
         self.bias_ms = 0.0
@@ -66,10 +65,13 @@ class LatencyLUT:
         )
         return self.fixed_ms + layer_sum - self.bias_ms
 
-    def predict_many(self, archs: Sequence[Architecture]) -> np.ndarray:
-        return np.array([self.predict(a) for a in archs])
+    def predict_many(self, archs) -> np.ndarray:
+        """Batched :meth:`predict`: one gather-sum over the population."""
+        ops = self.space.as_index_matrix(archs)
+        layer_sums = self.table[np.arange(self.space.num_layers)[None, :], ops].sum(axis=1)
+        return self.fixed_ms + layer_sums - self.bias_ms
 
-    def debias(self, archs: Sequence[Architecture], measured: np.ndarray) -> float:
+    def debias(self, archs, measured: np.ndarray) -> float:
         """Remove the mean prediction offset against ``measured`` latencies.
 
         Returns the offset that was absorbed into :attr:`bias_ms` (the

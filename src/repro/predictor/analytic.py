@@ -82,3 +82,9 @@ class AnalyticCostPredictor:
         self.space.validate(arch)
         rows = np.arange(self.space.num_layers)
         return float(self.table[rows, list(arch.op_indices)].sum() + self.fixed)
+
+    def predict_population(self, archs) -> np.ndarray:
+        """Exact metric of a population: one gather-sum, no encoding step."""
+        ops = self.space.as_index_matrix(archs)
+        rows = np.arange(self.space.num_layers)[None, :]
+        return self.table[rows, ops].sum(axis=1) + self.fixed

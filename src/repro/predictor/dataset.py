@@ -70,7 +70,7 @@ class PredictorDataset:
 
 def encode_architectures(space: SearchSpace, archs: List[Architecture]) -> np.ndarray:
     """Flatten each architecture's ᾱ matrix into an ``(N, L·K)`` array."""
-    return np.stack([a.one_hot(space.num_operators).reshape(-1) for a in archs])
+    return space.encode_many(archs)
 
 
 def collect_latency_dataset(
@@ -78,11 +78,17 @@ def collect_latency_dataset(
     num_samples: int,
     rng: np.random.Generator,
 ) -> PredictorDataset:
-    """Sample architectures and measure latency, as in the paper's campaign."""
+    """Sample architectures and measure latency, as in the paper's campaign.
+
+    Sampling, measurement, and encoding are all population-level numpy
+    operations; the generator is consumed exactly as by the historical
+    per-architecture loop, so seeded campaigns are bit-identical to it.
+    """
     space = latency_model.space
-    archs = space.sample_many(num_samples, rng)
-    targets = latency_model.measure_many(archs, rng)
-    return PredictorDataset(encode_architectures(space, archs), targets, archs)
+    ops = space.sample_indices(num_samples, rng)
+    targets = latency_model.measure_many(ops, rng)
+    return PredictorDataset(space.encode_many(ops), targets,
+                            space.indices_to_archs(ops))
 
 
 def collect_energy_dataset(
@@ -92,7 +98,8 @@ def collect_energy_dataset(
 ) -> PredictorDataset:
     """Sample architectures and measure energy with temperature drift."""
     space = energy_model.space
-    archs = space.sample_many(num_samples, rng)
+    ops = space.sample_indices(num_samples, rng)
     meter = EnergyMeter(energy_model, rng)
-    targets = meter.measure_many(archs)
-    return PredictorDataset(encode_architectures(space, archs), targets, archs)
+    targets = meter.measure_many(ops)
+    return PredictorDataset(space.encode_many(ops), targets,
+                            space.indices_to_archs(ops))

@@ -70,6 +70,9 @@ class MLPPredictor:
         self.target_mean = 0.0
         self.target_std = 1.0
         self.fitted = False
+        # Transposed-weight cache for the numpy fast path; rebuilt after
+        # fit()/load_state_dict(), cleared while training mutates weights.
+        self._fast_weights = None
 
     # ------------------------------------------------------------------
     # Forward paths
@@ -84,17 +87,50 @@ class MLPPredictor:
         return out * self.target_std + self.target_mean
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Fast numpy forward (no tape) for batch scoring."""
-        h = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        for layer in self.layers[:-1]:
-            h = np.maximum(h @ layer.weight.data.T + layer.bias.data, 0.0)
-        out = h @ self.layers[-1].weight.data.T + self.layers[-1].bias.data
+        """Fast numpy forward (no tape) for batch scoring.
+
+        This is the inner loop of every population consumer (evolution/RL
+        feasibility filtering, benchmark sweeps), so it avoids per-call
+        work: already-2-D float64 inputs are used as-is (no ``atleast_2d``
+        + copy), and the transposed weight matrices are cached contiguously
+        once training ends instead of being re-derived per call.
+        """
+        if not (isinstance(features, np.ndarray) and features.ndim == 2
+                and features.dtype == np.float64):
+            features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        weights = self._fast_weights
+        if weights is None:
+            weights = [(layer.weight.data.T, layer.bias.data)
+                       for layer in self.layers]
+        h = features
+        for w_t, b in weights[:-1]:
+            h = np.maximum(h @ w_t + b, 0.0)
+        w_t, b = weights[-1]
+        out = h @ w_t + b
         return out[:, 0] * self.target_std + self.target_mean
+
+    def _refresh_fast_weights(self) -> None:
+        self._fast_weights = [
+            (np.ascontiguousarray(layer.weight.data.T), layer.bias.data.copy())
+            for layer in self.layers
+        ]
 
     def predict_arch(self, arch: Architecture) -> float:
         """Predict the metric of a single architecture."""
         feat = arch.one_hot(self.space.num_operators).reshape(1, -1)
         return float(self.predict(feat)[0])
+
+    def predict_population(self, archs, chunk_size: int = 65536) -> np.ndarray:
+        """Predict a population: ``(N, L)`` op indices (or a sequence of
+        architectures) → ``(N,)`` metric values, one encode + one forward
+        per chunk (chunking bounds the transient one-hot matrix's memory)."""
+        ops = self.space.as_index_matrix(archs)
+        if len(ops) <= chunk_size:
+            return self.predict(self.space.encode_many(ops))
+        return np.concatenate([
+            self.predict(self.space.encode_many(ops[start:start + chunk_size]))
+            for start in range(0, len(ops), chunk_size)
+        ])
 
     # ------------------------------------------------------------------
     # Training
@@ -118,6 +154,7 @@ class MLPPredictor:
         """
         if len(train) < 2:
             raise ValueError("need at least 2 training samples")
+        self._fast_weights = None  # weights are about to change under Adam
         self.target_mean = float(train.targets.mean())
         self.target_std = float(train.targets.std()) or 1.0
 
@@ -148,6 +185,7 @@ class MLPPredictor:
                 tail = f" valid RMSE {log.valid_rmse[-1]:.4f}" if valid is not None else ""
                 print(f"[predictor] epoch {epoch:3d} loss {log.train_loss[-1]:.5f}{tail}")
         self.fitted = True
+        self._refresh_fast_weights()
         return log
 
     def _forward_normalised(self, features: nn.Tensor) -> nn.Tensor:
@@ -174,3 +212,4 @@ class MLPPredictor:
         self.target_std = float(state.pop("__target_std"))
         self._model.load_state_dict(state)
         self.fitted = True
+        self._refresh_fast_weights()

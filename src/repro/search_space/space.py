@@ -157,11 +157,68 @@ class SearchSpace:
             tuple(int(i) for i in rng.integers(self.num_operators, size=self.num_layers))
         )
 
+    def sample_indices(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly sample a population as one ``(count, L)`` index matrix.
+
+        One array draw consumes the generator's bitstream exactly like
+        ``count`` sequential :meth:`sample` calls (``Generator.integers``
+        fills C-order element-by-element), so seeded campaigns that switch
+        between the scalar and batched samplers see identical architectures.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return rng.integers(self.num_operators, size=(count, self.num_layers),
+                            dtype=np.int64)
+
+    def indices_to_archs(self, ops: np.ndarray) -> List[Architecture]:
+        """Materialise an ``(N, L)`` index matrix as Architecture objects."""
+        ops = self.as_index_matrix(ops)
+        return [Architecture(tuple(row)) for row in ops.tolist()]
+
+    def as_index_matrix(self, archs) -> np.ndarray:
+        """Normalise a population to an ``(N, L)`` int64 op-index matrix.
+
+        Accepts an ``(N, L)`` array (validated and passed through), a
+        sequence of :class:`Architecture`, or a single Architecture
+        (returned as a 1-row matrix).
+        """
+        if isinstance(archs, Architecture):
+            archs = [archs]
+        if isinstance(archs, np.ndarray):
+            ops = np.asarray(archs, dtype=np.int64)
+            if ops.ndim != 2:
+                raise ValueError(f"op-index matrix must be 2-D, got shape {ops.shape}")
+        else:
+            ops = np.array([a.op_indices for a in archs], dtype=np.int64)
+            if ops.size == 0:
+                ops = ops.reshape(0, self.num_layers)
+        if ops.shape[1] != self.num_layers:
+            raise ValueError(
+                f"population has {ops.shape[1]} layers, space expects {self.num_layers}"
+            )
+        if ops.size and (ops.min() < 0 or ops.max() >= self.num_operators):
+            raise ValueError("population references an unknown operator")
+        return ops
+
+    def encode_many(self, archs) -> np.ndarray:
+        """Batched flattened one-hot encoding: ``(N, L·K)`` float64.
+
+        Row ``i`` equals ``archs[i].one_hot(K).reshape(-1)`` — the predictor
+        input representation — built with one scatter instead of a per-arch
+        Python loop.
+        """
+        ops = self.as_index_matrix(archs)
+        n, num_layers = ops.shape
+        out = np.zeros((n, num_layers * self.num_operators), dtype=np.float64)
+        flat = np.arange(num_layers) * self.num_operators + ops
+        np.put_along_axis(out, flat, 1.0, axis=1)
+        return out
+
     def sample_many(self, count: int, rng: np.random.Generator,
                     unique: bool = False) -> List[Architecture]:
         """Sample ``count`` architectures, optionally de-duplicated."""
         if not unique:
-            return [self.sample(rng) for _ in range(count)]
+            return self.indices_to_archs(self.sample_indices(count, rng))
         seen = set()
         out: List[Architecture] = []
         # The space is astronomically larger than any sample we draw, so

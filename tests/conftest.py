@@ -51,6 +51,11 @@ def full_energy_model(full_space, full_latency_model):
 
 
 @pytest.fixture(scope="session")
+def tiny_energy_model(tiny_space, tiny_latency_model):
+    return EnergyModel(tiny_space, latency_model=tiny_latency_model)
+
+
+@pytest.fixture(scope="session")
 def tiny_oracle(tiny_space):
     return AccuracyOracle(tiny_space)
 

@@ -69,3 +69,69 @@ class TestPredictorCache:
         assert np.isclose(pred1.predict_arch(arch), pred2.predict_arch(arch))
         cache_dir = os.path.join(str(tmp_path), "cache")
         assert len(os.listdir(cache_dir)) == 1
+
+    def test_loaded_predictions_bit_identical(self, tmp_path, monkeypatch,
+                                              tiny_space, tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        pred1, _ = fit_latency_predictor(
+            tiny_space, tiny_latency_model, seed=6, num_samples=300)
+        pred2, _ = fit_latency_predictor(
+            tiny_space, tiny_latency_model, seed=6, num_samples=300)
+        ops = tiny_space.sample_indices(32, np.random.default_rng(1))
+        feats = tiny_space.encode_many(ops)
+        assert np.array_equal(pred1.predict(feats), pred2.predict(feats))
+
+    def test_corrupt_cache_fails_loudly(self, tmp_path, monkeypatch,
+                                        tiny_space, tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        fit_latency_predictor(tiny_space, tiny_latency_model,
+                              seed=7, num_samples=300)
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        with open(path, "wb") as handle:
+            handle.write(b"not an npz archive")
+        with pytest.raises(RuntimeError, match="unreadable"):
+            fit_latency_predictor(tiny_space, tiny_latency_model,
+                                  seed=7, num_samples=300)
+
+    def test_missing_rmse_fails_loudly(self, tmp_path, monkeypatch,
+                                       tiny_space, tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        pred, _ = fit_latency_predictor(tiny_space, tiny_latency_model,
+                                        seed=8, num_samples=300)
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        np.savez(path.removesuffix(".npz"), **pred.state_dict())  # no __rmse
+        with pytest.raises(RuntimeError, match="__rmse"):
+            fit_latency_predictor(tiny_space, tiny_latency_model,
+                                  seed=8, num_samples=300)
+
+    def test_mismatched_state_fails_loudly(self, tmp_path, monkeypatch,
+                                           tiny_space, tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        pred, _ = fit_latency_predictor(tiny_space, tiny_latency_model,
+                                        seed=9, num_samples=300)
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        state = pred.state_dict()
+        state["__rmse"] = np.array(0.1)
+        first_param = next(k for k in state if not k.startswith("__"))
+        state.pop(first_param)
+        np.savez(path.removesuffix(".npz"), **state)
+        with pytest.raises(RuntimeError, match="does not match"):
+            fit_latency_predictor(tiny_space, tiny_latency_model,
+                                  seed=9, num_samples=300)
+
+    def test_use_cache_false_ignores_cache(self, tmp_path, monkeypatch,
+                                           tiny_space, tiny_latency_model):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        fit_latency_predictor(tiny_space, tiny_latency_model,
+                              seed=10, num_samples=300)
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)]
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")  # would raise if the cache were read
+        pred, rmse = fit_latency_predictor(tiny_space, tiny_latency_model,
+                                           seed=10, num_samples=300,
+                                           use_cache=False)
+        assert rmse > 0.0

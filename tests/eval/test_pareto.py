@@ -11,6 +11,7 @@ from repro.eval.pareto import (
     front_gap,
     hypervolume_2d,
     pareto_front,
+    pareto_mask,
 )
 
 
@@ -153,3 +154,47 @@ class TestOnTable2Data:
         for point in points:
             if point.name.startswith("light"):
                 assert front_gap(point, front) < 0.25, point
+
+
+class TestParetoMask:
+    def test_empty(self):
+        assert pareto_mask(np.zeros(0), np.zeros(0)).shape == (0,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_mask(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            pareto_mask(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_duplicate_keeps_first_occurrence(self):
+        mask = pareto_mask(np.array([1.0, 1.0, 2.0]), np.array([5.0, 5.0, 6.0]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_agrees_with_pareto_front(self):
+        rng = np.random.default_rng(0)
+        costs, qualities = rng.random(200) * 10, rng.random(200) * 10
+        points = [P(c, q) for c, q in zip(costs, qualities)]
+        front = {(p.cost, p.quality) for p in pareto_front(points)}
+        kept = {(costs[i], qualities[i])
+                for i in np.nonzero(pareto_mask(costs, qualities))[0]}
+        assert kept == front
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords=st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                                 st.floats(0, 50, allow_nan=False)),
+                       min_size=1, max_size=40))
+def test_pareto_mask_matches_bruteforce_property(coords):
+    """The vectorized sweep must agree with the O(N²) domination scan
+    (with first-occurrence tie-breaking on duplicate coordinates)."""
+    costs = np.array([c for c, _ in coords])
+    qualities = np.array([q for _, q in coords])
+    points = [P(c, q) for c, q in coords]
+    expected = np.zeros(len(points), dtype=bool)
+    seen = set()
+    for i, p in enumerate(points):
+        undominated = not any(dominates(other, p) for other in points)
+        first = (p.cost, p.quality) not in seen
+        seen.add((p.cost, p.quality))
+        expected[i] = undominated and first
+    assert pareto_mask(costs, qualities).tolist() == expected.tolist()

@@ -1,0 +1,207 @@
+"""Scalar ↔ vectorized parity of the cost-table batch APIs.
+
+The batch APIs (`latency_many`, `measure_many`, `energy_many`,
+`arch_cost_many`, `encode_many`, LUT `predict_many`) promise *bit-for-bit*
+agreement with the per-architecture scalar paths — including under a shared
+seeded generator, so existing cached campaign artifacts stay valid.  These
+properties pin that contract down with hypothesis-driven random populations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import flops
+from repro.hardware.energy import EnergyMeter, EnergyModel
+from repro.hardware.lut import LatencyLUT
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import Architecture, SearchSpace
+
+TINY_LAYERS = SearchSpace(MacroConfig.tiny()).num_layers
+
+
+def ops_matrix(space_layers, max_rows=12):
+    """Strategy: an (N, L) population of op indices as a list of rows."""
+    row = st.lists(st.integers(min_value=0, max_value=6),
+                   min_size=space_layers, max_size=space_layers)
+    return st.lists(row, min_size=1, max_size=max_rows)
+
+
+class TestLatencyParity:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS), with_se_last=st.integers(min_value=0, max_value=2))
+    def test_latency_many_matches_scalar(self, rows, with_se_last,
+                                         tiny_latency_model):
+        ops = np.array(rows, dtype=np.int64)
+        batched = tiny_latency_model.latency_many(ops, with_se_last=with_se_last)
+        scalar = [tiny_latency_model.latency_ms(Architecture(tuple(r)),
+                                                with_se_last=with_se_last)
+                  for r in rows]
+        assert np.array_equal(batched, np.array(scalar))
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS), seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_measure_many_bitstream_parity(self, rows, seed, tiny_latency_model):
+        """Seeded measure_many == a loop of measure() on the same generator."""
+        ops = np.array(rows, dtype=np.int64)
+        batched = tiny_latency_model.measure_many(ops, np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        scalar = [tiny_latency_model.measure(Architecture(tuple(r)), rng)
+                  for r in rows]
+        assert np.array_equal(batched, np.array(scalar))
+
+    def test_full_space_parity(self, full_latency_model, full_space, rng):
+        ops = full_space.sample_indices(64, rng)
+        batched = full_latency_model.latency_many(ops)
+        scalar = [full_latency_model.latency_ms(a)
+                  for a in full_space.indices_to_archs(ops)]
+        assert np.array_equal(batched, np.array(scalar))
+
+    def test_accepts_architecture_sequence(self, tiny_space, tiny_latency_model, rng):
+        archs = tiny_space.sample_many(8, rng)
+        from_archs = tiny_latency_model.latency_many(archs)
+        from_ops = tiny_latency_model.latency_many(tiny_space.as_index_matrix(archs))
+        assert np.array_equal(from_archs, from_ops)
+
+    def test_empty_population(self, tiny_latency_model):
+        ops = np.zeros((0, TINY_LAYERS), dtype=np.int64)
+        assert len(tiny_latency_model.latency_many(ops)) == 0
+        assert len(tiny_latency_model.measure_many(ops, np.random.default_rng(0))) == 0
+
+
+class TestCostParity:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS), with_se_last=st.integers(min_value=0, max_value=2))
+    def test_arch_cost_many_matches_scalar(self, rows, with_se_last, tiny_space):
+        ops = np.array(rows, dtype=np.int64)
+        pop = flops.arch_cost_many(tiny_space, ops, with_se_last=with_se_last)
+        for i, r in enumerate(rows):
+            cost = flops.arch_cost(tiny_space, Architecture(tuple(r)),
+                                   with_se_last=with_se_last)
+            assert pop.macs[i] == cost.macs
+            assert pop.params[i] == cost.params
+            assert pop.mem_bytes[i] == cost.mem_bytes
+            assert pop.flops[i] == cost.flops
+
+    def test_count_helpers(self, tiny_space, rng):
+        ops = tiny_space.sample_indices(16, rng)
+        archs = tiny_space.indices_to_archs(ops)
+        assert np.array_equal(flops.count_macs_many(tiny_space, ops),
+                              [flops.count_macs(tiny_space, a) for a in archs])
+        assert np.array_equal(flops.count_params_many(tiny_space, ops),
+                              [flops.count_params(tiny_space, a) for a in archs])
+
+    def test_tables_memoized(self, tiny_space):
+        assert flops.cost_tables(tiny_space) is flops.cost_tables(tiny_space)
+
+
+class TestEnergyParity:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS))
+    def test_energy_many_matches_scalar(self, rows, tiny_energy_model):
+        ops = np.array(rows, dtype=np.int64)
+        batched = tiny_energy_model.energy_many(ops)
+        scalar = [tiny_energy_model.energy_mj(Architecture(tuple(r)))
+                  for r in rows]
+        assert np.array_equal(batched, np.array(scalar))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS), seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_meter_bitstream_and_drift_parity(self, rows, seed, tiny_energy_model):
+        """measure_many must match a measure() loop AND leave the meter's
+        AR(1) drift state exactly where the loop would have left it."""
+        ops = np.array(rows, dtype=np.int64)
+        archs = [Architecture(tuple(r)) for r in rows]
+
+        loop_meter = EnergyMeter(tiny_energy_model, np.random.default_rng(seed))
+        scalar = [loop_meter.measure(a) for a in archs]
+
+        batch_meter = EnergyMeter(tiny_energy_model, np.random.default_rng(seed))
+        batched = batch_meter.measure_many(ops)
+
+        assert np.array_equal(batched, np.array(scalar))
+        assert batch_meter._drift == loop_meter._drift
+
+    def test_meter_drift_carries_across_calls(self, tiny_energy_model, rng):
+        """Two consecutive measure_many calls == one continuous campaign."""
+        space = tiny_energy_model.space
+        ops = space.sample_indices(10, rng)
+        one = EnergyMeter(tiny_energy_model, np.random.default_rng(3))
+        whole = one.measure_many(ops)
+        two = EnergyMeter(tiny_energy_model, np.random.default_rng(3))
+        halves = np.concatenate([two.measure_many(ops[:4]),
+                                 two.measure_many(ops[4:])])
+        assert np.array_equal(whole, halves)
+        assert one._drift == two._drift
+
+    def test_meter_empty_population(self, tiny_energy_model):
+        meter = EnergyMeter(tiny_energy_model, np.random.default_rng(0))
+        meter._drift = 1.5
+        out = meter.measure_many(np.zeros((0, TINY_LAYERS), dtype=np.int64))
+        assert len(out) == 0
+        assert meter._drift == 1.5  # no draws consumed, no state advanced
+
+
+class TestEncodeParity:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=ops_matrix(TINY_LAYERS))
+    def test_encode_many_matches_one_hot(self, rows, tiny_space):
+        ops = np.array(rows, dtype=np.int64)
+        batched = tiny_space.encode_many(ops)
+        k = tiny_space.num_operators
+        scalar = np.stack([Architecture(tuple(r)).one_hot(k).reshape(-1)
+                           for r in rows])
+        assert np.array_equal(batched, scalar)
+
+    @settings(max_examples=25, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=64),
+           seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_sample_indices_bitstream_parity(self, count, seed, tiny_space):
+        """One (N, L) block draw == N sequential sample() calls."""
+        block = tiny_space.sample_indices(count, np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        sequential = [tiny_space.sample(rng).op_indices for _ in range(count)]
+        assert np.array_equal(block, np.array(sequential))
+
+    def test_as_index_matrix_validates(self, tiny_space):
+        bad = np.full((2, tiny_space.num_layers), 9, dtype=np.int64)
+        with pytest.raises(ValueError):
+            tiny_space.as_index_matrix(bad)
+        with pytest.raises(ValueError):
+            tiny_space.as_index_matrix(np.zeros((2, tiny_space.num_layers + 1),
+                                                dtype=np.int64))
+
+
+class TestLUTParity:
+    def test_construction_matches_scalar_draw_order(self, tiny_latency_model):
+        """The (L, K, trials) noise block must consume the generator exactly
+        like the historical per-cell, per-trial scalar loop."""
+        trials = 3
+        lut = LatencyLUT(tiny_latency_model, np.random.default_rng(7),
+                         trials=trials)
+        rng = np.random.default_rng(7)
+        model = tiny_latency_model
+        expected = np.empty_like(lut.table)
+        for l in range(model.space.num_layers):
+            for k in range(model.space.num_operators):
+                true = model.op_table[l, k] + model.device.isolated_overhead_ms
+                samples = [max(true + rng.normal(0.0, model.device.latency_noise_ms), 0.0)
+                           for _ in range(trials)]
+                expected[l, k] = np.mean(samples)
+        assert np.array_equal(lut.table, expected)
+
+    def test_predict_many_matches_predict(self, tiny_latency_model, tiny_space, rng):
+        lut = LatencyLUT(tiny_latency_model, np.random.default_rng(1))
+        ops = tiny_space.sample_indices(20, rng)
+        batched = lut.predict_many(ops)
+        scalar = [lut.predict(a) for a in tiny_space.indices_to_archs(ops)]
+        assert np.allclose(batched, scalar, rtol=0, atol=1e-12)
+
+    def test_predict_many_respects_debias(self, tiny_latency_model, tiny_space, rng):
+        lut = LatencyLUT(tiny_latency_model, np.random.default_rng(1))
+        archs = tiny_space.sample_many(10, rng)
+        measured = tiny_latency_model.measure_many(archs, rng)
+        gap = lut.debias(archs, measured)
+        assert lut.bias_ms == pytest.approx(gap)
+        assert np.mean(lut.predict_many(archs) - measured) == pytest.approx(0.0, abs=1e-9)

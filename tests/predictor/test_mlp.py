@@ -107,3 +107,80 @@ class TestStateDict:
         assert clone.target_mean == tiny_predictor.target_mean
         assert clone.target_std == tiny_predictor.target_std
         assert clone.fitted
+
+
+class TestFastPredictPath:
+    def test_fast_weights_cached_after_fit(self, tiny_predictor):
+        assert tiny_predictor._fast_weights is not None
+        for (w_t, _), layer in zip(tiny_predictor._fast_weights,
+                                   tiny_predictor.layers):
+            assert w_t.flags["C_CONTIGUOUS"]
+            assert np.array_equal(w_t, layer.weight.data.T)
+
+    def test_fast_weights_cleared_during_fit(self, tiny_space,
+                                             tiny_latency_model, rng):
+        data = collect_latency_dataset(tiny_latency_model, 80, rng)
+        predictor = MLPPredictor(tiny_space, hidden=(16,), seed=0)
+        predictor.fit(data, epochs=2, batch_size=32)
+        assert predictor._fast_weights is not None  # refreshed at fit end
+
+    def test_fast_weights_refreshed_by_load(self, tiny_space, tiny_predictor):
+        fresh = MLPPredictor(tiny_space, hidden=(64, 32))
+        assert fresh._fast_weights is None  # unfitted: no stale cache
+        fresh.load_state_dict(tiny_predictor.state_dict())
+        assert fresh._fast_weights is not None
+        arch = tiny_space.sample(np.random.default_rng(2))
+        assert fresh.predict_arch(arch) == tiny_predictor.predict_arch(arch)
+
+    def test_cached_and_uncached_paths_agree(self, tiny_space, tiny_predictor, rng):
+        feats = tiny_space.encode_many(tiny_space.sample_indices(16, rng))
+        cached = tiny_predictor.predict(feats)
+        saved, tiny_predictor._fast_weights = tiny_predictor._fast_weights, None
+        try:
+            uncached = tiny_predictor.predict(feats)
+        finally:
+            tiny_predictor._fast_weights = saved
+        # BLAS may pick different kernels for contiguous vs transposed
+        # operands, so agreement is to rounding, not bit-for-bit.
+        assert np.allclose(cached, uncached, rtol=1e-12, atol=1e-12)
+
+    def test_one_dim_input_still_accepted(self, tiny_space, tiny_predictor, rng):
+        feats = tiny_space.encode_many(tiny_space.sample_indices(1, rng))
+        assert tiny_predictor.predict(feats[0]).shape == (1,)
+        assert tiny_predictor.predict(feats[0])[0] == tiny_predictor.predict(feats)[0]
+
+    def test_float32_input_still_accepted(self, tiny_space, tiny_predictor, rng):
+        feats = tiny_space.encode_many(tiny_space.sample_indices(8, rng))
+        out32 = tiny_predictor.predict(feats.astype(np.float32))
+        assert np.allclose(out32, tiny_predictor.predict(feats))
+
+    def test_fast_path_does_not_copy(self, tiny_space, tiny_predictor, rng):
+        """2-D float64 input must be used as-is — the whole point of the
+        fast path is skipping the atleast_2d + astype copy."""
+        feats = tiny_space.encode_many(tiny_space.sample_indices(4, rng))
+        expected = tiny_predictor.predict(feats)
+        feats_view = feats  # predict must not mutate or re-wrap it
+        assert np.array_equal(tiny_predictor.predict(feats_view), expected)
+
+
+class TestPredictPopulation:
+    def test_matches_per_arch_predictions(self, tiny_space, tiny_predictor, rng):
+        ops = tiny_space.sample_indices(20, rng)
+        batched = tiny_predictor.predict_population(ops)
+        scalar = [tiny_predictor.predict_arch(a)
+                  for a in tiny_space.indices_to_archs(ops)]
+        assert np.allclose(batched, scalar, rtol=0, atol=1e-12)
+
+    def test_chunking_is_invisible(self, tiny_space, tiny_predictor, rng):
+        ops = tiny_space.sample_indices(50, rng)
+        whole = tiny_predictor.predict_population(ops)
+        chunked = tiny_predictor.predict_population(ops, chunk_size=7)
+        # chunk height changes the BLAS kernel choice → rounding-level only
+        assert np.allclose(whole, chunked, rtol=1e-12, atol=1e-12)
+
+    def test_accepts_architecture_sequence(self, tiny_space, tiny_predictor, rng):
+        archs = tiny_space.sample_many(6, rng)
+        from_archs = tiny_predictor.predict_population(archs)
+        from_ops = tiny_predictor.predict_population(
+            tiny_space.as_index_matrix(archs))
+        assert np.array_equal(from_archs, from_ops)
