@@ -7,7 +7,21 @@ export PYTHONPATH=src
 
 python -m pytest -x -q
 
+# The bit-for-bit guarantees get a named run so a regression is unmissable
+# in the CI log even when the full suite is green-but-skipping.
+python -m pytest -x -q tests/core/test_resume_parity.py \
+    tests/core/test_lightnas.py::TestTrajectoryValidLoss \
+    tests/runtime/
+
 # Tiny-N smoke of the hot-path benchmark: exercises the scalar/vectorized
 # parity assertions and the BENCH_perf.json writer without the full N=10k
 # timing run (speedup thresholds are only checked at full size).
 python benchmarks/bench_perf_hotpaths.py --pop-n 200 --campaign-n 100 --predict-n 200
+
+# End-to-end telemetry smoke: a traced tiny search whose journal is kept as
+# a CI artifact (see .github/workflows/ci.yml).
+mkdir -p artifacts
+python -m repro search --tiny --target 2.3 --seed 0 --epochs 3 \
+    --checkpoint-dir artifacts/ckpts --checkpoint-every 1 \
+    --trace artifacts/ci_run.jsonl > /dev/null
+python -m repro trace-summary artifacts/ci_run.jsonl

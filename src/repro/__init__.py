@@ -16,6 +16,8 @@ Embedded Platforms", including every substrate the paper depends on:
   evolution, MnasNet-style RL, random search, model scaling.
 * :mod:`repro.eval` — stand-alone training, ImageNet-style evaluation,
   SSDLite detection transfer, search-cost accounting.
+* :mod:`repro.runtime` — bit-for-bit checkpoint/resume and JSON-lines
+  run telemetry for the search engines.
 
 Quickstart
 ----------
@@ -37,6 +39,8 @@ _LAZY_EXPORTS = {
     "SearchResult": ("repro.core.result", "SearchResult"),
     "Architecture": ("repro.search_space.space", "Architecture"),
     "SearchSpace": ("repro.search_space.space", "SearchSpace"),
+    "CheckpointError": ("repro.runtime.checkpoint", "CheckpointError"),
+    "RunJournal": ("repro.runtime.telemetry", "RunJournal"),
 }
 
 __all__ = list(_LAZY_EXPORTS) + ["__version__"]
@@ -55,4 +59,6 @@ def __getattr__(name: str):
 if TYPE_CHECKING:  # pragma: no cover - static typing only
     from .core.lightnas import LightNAS, LightNASConfig
     from .core.result import SearchResult
+    from .runtime.checkpoint import CheckpointError
+    from .runtime.telemetry import RunJournal
     from .search_space.space import Architecture, SearchSpace

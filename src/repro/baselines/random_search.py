@@ -8,6 +8,7 @@ searching.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -16,6 +17,7 @@ import numpy as np
 from ..core.result import SearchResult, SearchTrajectory
 from ..predictor.mlp import MLPPredictor
 from ..proxy.accuracy_model import AccuracyOracle
+from ..runtime.telemetry import NullJournal, RunJournal
 from ..search_space.space import Architecture, SearchSpace
 
 __all__ = ["RandomSearchConfig", "RandomSearch"]
@@ -42,8 +44,16 @@ class RandomSearch:
         self.oracle = oracle or AccuracyOracle(self.space)
         self.rng = np.random.default_rng(config.seed)
 
-    def search(self, verbose: bool = False) -> SearchResult:
+    def search(self, verbose: bool = False, *,
+               journal: Optional[RunJournal] = None) -> SearchResult:
+        # One-shot vectorized sampling: no loop state worth checkpointing,
+        # so this baseline gets telemetry only.
         cfg = self.config
+        journal = journal if journal is not None else NullJournal()
+        run_start = time.perf_counter()
+        journal.run_header(engine=self.name, metric_name="latency_ms",
+                           target=cfg.target, seed=cfg.seed,
+                           num_samples=cfg.num_samples)
         trajectory = SearchTrajectory()
         best: Optional[Architecture] = None
         best_top1 = -np.inf
@@ -57,6 +67,10 @@ class RandomSearch:
             if top1 > best_top1:
                 best, best_top1 = arch, top1
                 trajectory.record(int(i), float(preds[i]), 0.0, -top1, 0.0, arch)
+                journal.epoch(epoch=int(i),
+                              predicted_metric=round(float(preds[i]), 6),
+                              target=cfg.target, best_top1=round(top1, 4),
+                              architecture=list(arch.op_indices))
                 if verbose:
                     print(f"[random] sample {i:5d} new best top-1 {top1:.2f}")
         if best is None:
@@ -64,6 +78,14 @@ class RandomSearch:
                 f"no feasible architecture in {cfg.num_samples} samples for "
                 f"target {cfg.target}"
             )
+        journal.run_end(
+            final_predicted_metric=round(
+                float(self.predictor.predict_arch(best)), 6),
+            best_top1=round(best_top1, 4),
+            architecture=list(best.op_indices),
+            num_search_steps=cfg.num_samples,
+            wall_time_s=round(time.perf_counter() - run_start, 6),
+        )
         return SearchResult(
             architecture=best,
             predicted_metric=self.predictor.predict_arch(best),

@@ -15,14 +15,25 @@ penalty applies only when latency exceeds the target.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.result import SearchResult, SearchTrajectory
 from ..hardware.latency import LatencyModel
 from ..proxy.accuracy_model import AccuracyOracle
+from ..runtime.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    fingerprint_of,
+    load_checkpoint,
+    resolve_checkpoint,
+    restore_rng,
+    rng_state_json,
+)
+from ..runtime.telemetry import NullJournal, RunJournal
 from ..search_space.space import Architecture, SearchSpace
 
 __all__ = ["RLSearchConfig", "RLSearch"]
@@ -83,16 +94,87 @@ class RLSearch:
         ops = (u[:, :, None] > cdf[None, :, :]).sum(axis=2)
         return np.minimum(ops, probs.shape[1] - 1)
 
-    def search(self, verbose: bool = False) -> SearchResult:
+    def _fingerprint(self) -> str:
         cfg = self.config
+        return fingerprint_of(
+            "rl", cfg.target, cfg.iterations, cfg.batch_archs, cfg.policy_lr,
+            cfg.reward_exponent, cfg.baseline_momentum, cfg.seed,
+            self.space.num_layers, self.space.num_operators,
+            repr(self.space.macro),
+        )
+
+    def _capture_state(self, iteration: int, logits: np.ndarray,
+                       baseline: float, best_arch: Optional[Architecture],
+                       best_reward: float, evaluations: int,
+                       trajectory: SearchTrajectory) -> Tuple[Dict, Dict]:
+        meta = {
+            "kind": "rl",
+            "fingerprint": self._fingerprint(),
+            "next_iteration": iteration + 1,
+            "evaluations": evaluations,
+            "baseline": baseline,
+            "best_reward": best_reward,
+            "rng_state": rng_state_json(self.rng),
+        }
+        arrays = {
+            "logits": logits.copy(),
+            "best_ops": np.array(
+                best_arch.op_indices if best_arch is not None else [],
+                dtype=np.int64),
+        }
+        arrays.update(trajectory.as_arrays())
+        return meta, arrays
+
+    def search(
+        self,
+        verbose: bool = False,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 100,
+        resume_from: Optional[str] = None,
+        journal: Optional[RunJournal] = None,
+    ) -> SearchResult:
+        cfg = self.config
+        journal = journal if journal is not None else NullJournal()
+        run_start = time.perf_counter()
         logits = np.zeros((self.space.num_layers, self.space.num_operators))
         baseline = 0.0
         trajectory = SearchTrajectory()
         best_arch: Optional[Architecture] = None
         best_reward = -np.inf
         evaluations = 0
+        start_iteration = 0
+        if resume_from is not None:
+            path = resolve_checkpoint(resume_from)
+            meta, arrays = load_checkpoint(path)
+            if meta.get("kind") != "rl":
+                raise CheckpointError(
+                    f"checkpoint {path!r} belongs to engine "
+                    f"{meta.get('kind')!r}, not to RL search"
+                )
+            if meta.get("fingerprint") != self._fingerprint():
+                raise CheckpointError(
+                    f"checkpoint {path!r} was written by a run with a "
+                    f"different configuration; resume with the original one"
+                )
+            logits = arrays["logits"].copy()
+            baseline = float(meta["baseline"])
+            best_reward = float(meta["best_reward"])
+            if arrays["best_ops"].size:
+                best_arch = Architecture(tuple(arrays["best_ops"].tolist()))
+            evaluations = int(meta["evaluations"])
+            start_iteration = int(meta["next_iteration"])
+            restore_rng(self.rng, meta["rng_state"])
+            trajectory = SearchTrajectory.from_arrays(arrays)
+        manager = (CheckpointManager(checkpoint_dir, every=checkpoint_every)
+                   if checkpoint_dir else None)
+        journal.run_header(
+            engine=self.name, metric_name="latency_ms", target=cfg.target,
+            seed=cfg.seed, iterations=cfg.iterations,
+            start_epoch=start_iteration, fingerprint=self._fingerprint(),
+        )
 
-        for iteration in range(cfg.iterations):
+        for iteration in range(start_iteration, cfg.iterations):
             probs = np.exp(logits - logits.max(axis=1, keepdims=True))
             probs /= probs.sum(axis=1, keepdims=True)
             grad = np.zeros_like(logits)
@@ -118,14 +200,34 @@ class RLSearch:
             logits += cfg.policy_lr * grad / cfg.batch_archs
             if iteration % 25 == 0:
                 current = Architecture(tuple(int(i) for i in logits.argmax(axis=1)))
+                current_latency = self.latency_model.latency_ms(current)
                 trajectory.record(
-                    iteration, self.latency_model.latency_ms(current), 0.0,
+                    iteration, current_latency, 0.0,
                     -best_reward, 0.0, current,
                 )
+                journal.epoch(epoch=iteration,
+                              predicted_metric=round(float(current_latency), 6),
+                              target=cfg.target,
+                              best_reward=round(float(best_reward), 6),
+                              architecture=list(current.op_indices))
                 if verbose:
                     print(f"[{self.name}] iter {iteration:4d} best reward {best_reward:.4f}")
+            if manager is not None and manager.due(iteration):
+                meta, arrays = self._capture_state(
+                    iteration, logits, baseline, best_arch, best_reward,
+                    evaluations, trajectory)
+                path = manager.save(iteration, meta, arrays)
+                journal.event("checkpoint", epoch=iteration, path=path)
 
         assert best_arch is not None
+        journal.run_end(
+            final_predicted_metric=round(
+                float(self.latency_model.latency_ms(best_arch)), 6),
+            best_reward=round(float(best_reward), 6),
+            architecture=list(best_arch.op_indices),
+            num_search_steps=evaluations,
+            wall_time_s=round(time.perf_counter() - run_start, 6),
+        )
         return SearchResult(
             architecture=best_arch,
             predicted_metric=self.latency_model.latency_ms(best_arch),

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -31,6 +32,9 @@ from .hardware.flops import count_macs, count_params
 from .hardware.latency import LatencyModel
 from .predictor.analytic import AnalyticCostPredictor
 from .proxy.accuracy_model import AccuracyOracle
+from .runtime.checkpoint import CheckpointError, latest_checkpoint
+from .runtime.telemetry import NullJournal, RunJournal, read_journal, \
+    summarize_runs
 from .search_space.macro import MacroConfig
 from .search_space.space import Architecture, SearchSpace
 
@@ -94,24 +98,73 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _resume_path(args) -> Optional[str]:
+    """Resolve --resume against --checkpoint-dir.
+
+    Returns the latest checkpoint, or ``None`` (with a notice) when the
+    directory holds none yet — so re-running the same command after a
+    crash works whether or not a checkpoint was ever written.
+    """
+    if not getattr(args, "resume", False):
+        return None
+    if not args.checkpoint_dir:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
+    latest = latest_checkpoint(args.checkpoint_dir)
+    if latest is None:
+        print(f"no checkpoint in {args.checkpoint_dir!r} yet; starting fresh",
+              file=sys.stderr)
+        return None
+    print(f"resuming from {latest}", file=sys.stderr)
+    return latest
+
+
+def _journal(args) -> RunJournal:
+    return RunJournal(args.trace) if getattr(args, "trace", "") else NullJournal()
+
+
 def cmd_search(args) -> int:
     space = _space(args)
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
-    if args.tiny:
-        config = LightNASConfig.tiny(latency_target_ms=args.target,
-                                     seed=args.seed)
-        engine = LightNAS(config)
-    else:
-        predictor = _metric_predictor(args.metric, space, latency_model,
-                                      energy_model)
-        overrides = {}
-        if args.epochs:
-            overrides["epochs"] = args.epochs
-        config = LightNASConfig.paper(args.target, space=space, seed=args.seed,
-                                      metric_name=args.metric, **overrides)
-        engine = LightNAS(config, predictor=predictor)
-    result = engine.search(verbose=args.verbose)
+    overrides = {}
+    if args.epochs:
+        overrides["epochs"] = args.epochs
+    try:
+        if args.tiny:
+            if args.metric != "latency":
+                raise SystemExit(
+                    f"error: --tiny runs the bi-level supernet search, which "
+                    f"supports --metric latency only (got {args.metric!r}); "
+                    f"drop --tiny to constrain {args.metric}"
+                )
+            config = LightNASConfig.tiny(latency_target_ms=args.target,
+                                         seed=args.seed, **overrides)
+            engine = LightNAS(config)
+        else:
+            predictor = _metric_predictor(args.metric, space, latency_model,
+                                          energy_model)
+            # LightNASConfig.__post_init__ canonicalises the metric shorthand
+            # ("latency" → "latency_ms", ...) and validates it.
+            config = LightNASConfig.paper(args.target, space=space,
+                                          seed=args.seed,
+                                          metric_name=args.metric, **overrides)
+            engine = LightNAS(config, predictor=predictor)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    journal = _journal(args)
+    try:
+        result = engine.search(
+            verbose=args.verbose,
+            checkpoint_dir=args.checkpoint_dir or None,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=_resume_path(args),
+            journal=journal,
+        )
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        journal.close()
 
     payload = result.summary()
     payload["true_latency_ms"] = latency_model.latency_ms(result.architecture)
@@ -158,18 +211,73 @@ def cmd_sweep(args) -> int:
     predictor = _metric_predictor("latency", space, latency_model, energy_model)
     oracle = AccuracyOracle(space)
     targets = [float(t) for t in args.targets.split(",")]
+    journal = _journal(args)
     rows = []
-    for target in targets:
-        config = LightNASConfig.paper(target, space=space, seed=args.seed)
-        result = LightNAS(config, predictor=predictor).search()
-        evaluation = oracle.evaluate(result.architecture)
-        rows.append([f"{target:g} ms",
-                     latency_model.latency_ms(result.architecture),
-                     evaluation.top1, evaluation.top5,
-                     ",".join(str(i) for i in result.architecture.op_indices)])
+    try:
+        for target in targets:
+            config = LightNASConfig.paper(target, space=space, seed=args.seed)
+            checkpoint_dir = None
+            resume_from = None
+            if args.checkpoint_dir:
+                # one sub-directory per target: targets are independent runs
+                checkpoint_dir = os.path.join(args.checkpoint_dir,
+                                              f"target_{target:g}")
+                if args.resume:
+                    resume_from = latest_checkpoint(checkpoint_dir)
+            try:
+                result = LightNAS(config, predictor=predictor).search(
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume_from=resume_from,
+                    journal=journal,
+                )
+            except CheckpointError as exc:
+                raise SystemExit(f"error: {exc}")
+            evaluation = oracle.evaluate(result.architecture)
+            rows.append([f"{target:g} ms",
+                         latency_model.latency_ms(result.architecture),
+                         evaluation.top1, evaluation.top5,
+                         ",".join(str(i) for i in result.architecture.op_indices)])
+    finally:
+        journal.close()
     print(render_table(
         ["target", "latency ms", "top-1 %", "top-5 %", "architecture"],
         rows, title="one search per target — no λ tuning"))
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    try:
+        events = read_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    runs = summarize_runs(events)
+    if not runs:
+        raise SystemExit(f"error: {args.journal!r} contains no run_header "
+                         f"events — not a run journal?")
+    for index, run in enumerate(runs):
+        timers = ", ".join(
+            f"{name} {info['total_s']:.2f}s/{info['calls']}"
+            for name, info in run["phase_timers"].items()
+        ) or "—"
+        arch = run["architecture"]
+        rows = [
+            ["engine", run["engine"]],
+            ["metric / target", f"{run['metric_name']} / {run['target']}"],
+            ["seed", run["seed"]],
+            ["resumed from epoch", run["resumed_from_epoch"] or "—"],
+            ["epochs recorded", run["epochs_recorded"]],
+            ["checkpoints written", run["checkpoints_written"]],
+            ["final predicted metric", run["final_predicted_metric"]],
+            ["final λ", run["final_lambda"]],
+            ["final valid loss", run["final_valid_loss"]],
+            ["architecture",
+             ",".join(str(i) for i in arch) if arch else "—"],
+            ["wall time (s)", run["wall_time_s"]],
+            ["phase timers", timers],
+        ]
+        print(render_table(["field", "value"], rows,
+                           title=f"run {index + 1}/{len(runs)}"))
     return 0
 
 
@@ -200,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--output", default="",
                           help="also write the result JSON to this path")
     p_search.add_argument("--verbose", action="store_true")
+    _add_runtime_flags(p_search)
     p_search.set_defaults(func=cmd_search)
 
     p_predict = sub.add_parser("predict", help="predict metrics of an arch")
@@ -221,9 +330,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated targets, e.g. 20,24,28")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--tiny", action="store_true")
+    _add_runtime_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_trace = sub.add_parser(
+        "trace-summary",
+        help="summarise a JSON-lines run journal written with --trace")
+    p_trace.add_argument("journal", help="path to the .jsonl journal")
+    p_trace.set_defaults(func=cmd_trace_summary)
+
     return parser
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume/telemetry flags shared by search and sweep."""
+    parser.add_argument("--checkpoint-dir", default="",
+                        help="write resumable checkpoints to this directory")
+    parser.add_argument("--checkpoint-every", type=int, default=10,
+                        help="checkpoint every N epochs (default 10)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the latest checkpoint in "
+                             "--checkpoint-dir (starts fresh if none)")
+    parser.add_argument("--trace", default="",
+                        help="write a JSON-lines run journal to this path "
+                             "(read it back with: repro trace-summary)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -27,8 +27,9 @@ Two validation-loss modes share the engine:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -38,8 +39,18 @@ from ..predictor.dataset import collect_latency_dataset
 from ..predictor.mlp import MLPPredictor
 from ..hardware.latency import LatencyModel
 from ..proxy.accuracy_model import AccuracyOracle
-from ..proxy.dataset import SyntheticTask
+from ..proxy.dataset import Batch, SyntheticTask
 from ..proxy.supernet import SuperNet
+from ..runtime.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    fingerprint_of,
+    load_checkpoint,
+    resolve_checkpoint,
+    restore_rng,
+    rng_state_json,
+)
+from ..runtime.telemetry import NullJournal, PhaseTimers, RunJournal
 from ..search_space.macro import MacroConfig
 from ..search_space.space import Architecture, SearchSpace
 from .gumbel import GumbelSampler, TemperatureSchedule
@@ -47,7 +58,15 @@ from .lambda_opt import LagrangeMultiplier
 from .objective import ConstrainedObjective
 from .result import SearchResult, SearchTrajectory
 
-__all__ = ["LightNASConfig", "LightNAS"]
+__all__ = ["LightNASConfig", "LightNAS", "METRIC_ALIASES", "CANONICAL_METRICS"]
+
+#: canonical unit-suffixed metric names used across predictors and results
+CANONICAL_METRICS = ("latency_ms", "energy_mj", "macs_m")
+
+#: accepted shorthand → canonical name (normalised in one place:
+#: :meth:`LightNASConfig.__post_init__`)
+METRIC_ALIASES = {"latency": "latency_ms", "energy": "energy_mj",
+                  "macs": "macs_m"}
 
 
 @dataclass
@@ -91,6 +110,12 @@ class LightNASConfig:
             raise ValueError("constraint target must be positive")
         if self.epochs <= self.warmup_epochs and self.mode == "supernet":
             raise ValueError("epochs must exceed warmup_epochs in supernet mode")
+        self.metric_name = METRIC_ALIASES.get(self.metric_name, self.metric_name)
+        if self.metric_name not in CANONICAL_METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric_name!r}; expected one of "
+                f"{CANONICAL_METRICS} (or shorthand {tuple(METRIC_ALIASES)})"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -189,9 +214,125 @@ class LightNAS:
         return predictor
 
     # ------------------------------------------------------------------
-    def search(self, verbose: bool = False) -> SearchResult:
-        """Run the one-time search and return the derived architecture."""
+    def _fingerprint(self) -> str:
+        """Hash of everything that determines the search dynamics."""
         cfg = self.config
+        return fingerprint_of(
+            "lightnas", cfg.mode, cfg.target, cfg.metric_name, cfg.epochs,
+            cfg.steps_per_epoch, cfg.warmup_epochs, cfg.batch_size,
+            cfg.alpha_lr, cfg.alpha_weight_decay, cfg.w_lr, cfg.w_momentum,
+            cfg.w_weight_decay, cfg.lambda_lr, cfg.lambda_initial,
+            cfg.penalty_mu, cfg.tau_initial, cfg.tau_floor, cfg.seed,
+            self.space.num_layers, self.space.num_operators,
+            repr(self.space.macro),
+        )
+
+    def _capture_state(self, epoch: int, steps: int, alpha: nn.Parameter,
+                       alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
+                       trajectory: SearchTrajectory,
+                       w_opt: Optional[nn.Optimizer]) -> Tuple[Dict, Dict]:
+        """Snapshot the full search state at the *end* of ``epoch``."""
+        meta = {
+            "kind": "lightnas",
+            "fingerprint": self._fingerprint(),
+            "next_epoch": epoch + 1,
+            "steps": steps,
+            "rng_state": rng_state_json(self.rng),
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "alpha": alpha.data.copy(),
+            "lambda": lam.param.data.copy(),
+            "lambda_history": np.array(lam.history, dtype=np.float64),
+        }
+        for key, value in alpha_opt.state_arrays().items():
+            arrays[f"alpha_opt.{key}"] = value
+        arrays.update(trajectory.as_arrays())
+        if self.config.mode == "supernet":
+            meta["task_rng_state"] = rng_state_json(self.task._batch_rng)
+            for key, value in self.supernet.state_dict().items():
+                arrays[f"net.{key}"] = value
+            for key, value in w_opt.state_arrays().items():
+                arrays[f"w_opt.{key}"] = value
+        return meta, arrays
+
+    def _restore_state(self, path: str, alpha: nn.Parameter,
+                       alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
+                       w_opt: Optional[nn.Optimizer]
+                       ) -> Tuple[int, int, SearchTrajectory]:
+        """Restore a checkpoint; returns (start_epoch, steps, trajectory)."""
+        meta, arrays = load_checkpoint(path)
+        if meta.get("kind") != "lightnas":
+            raise CheckpointError(
+                f"checkpoint {path!r} belongs to engine {meta.get('kind')!r}, "
+                f"not to LightNAS"
+            )
+        if meta.get("fingerprint") != self._fingerprint():
+            raise CheckpointError(
+                f"checkpoint {path!r} was written by a run with a different "
+                f"configuration (target/space/seed/hyper-parameters); resume "
+                f"with the original configuration or start a fresh search"
+            )
+        try:
+            alpha.data = arrays["alpha"].copy()
+            alpha_opt.load_state_arrays({
+                key[len("alpha_opt."):]: value
+                for key, value in arrays.items() if key.startswith("alpha_opt.")
+            })
+            lam.param.data = arrays["lambda"].copy()
+            lam.history = [float(x) for x in arrays["lambda_history"]]
+            restore_rng(self.rng, meta["rng_state"])
+            if self.config.mode == "supernet":
+                self.supernet.load_state_dict({
+                    key[len("net."):]: value
+                    for key, value in arrays.items() if key.startswith("net.")
+                })
+                w_opt.load_state_arrays({
+                    key[len("w_opt."):]: value
+                    for key, value in arrays.items() if key.startswith("w_opt.")
+                })
+                restore_rng(self.task._batch_rng, meta["task_rng_state"])
+            trajectory = SearchTrajectory.from_arrays(arrays)
+            return int(meta["next_epoch"]), int(meta["steps"]), trajectory
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing or mismatching state "
+                f"({exc}); it does not fit this run — delete it and restart "
+                f"the search"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        verbose: bool = False,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 10,
+        resume_from: Optional[str] = None,
+        journal: Optional[RunJournal] = None,
+    ) -> SearchResult:
+        """Run the one-time search and return the derived architecture.
+
+        Parameters
+        ----------
+        checkpoint_dir / checkpoint_every:
+            If set, snapshot the full search state to
+            ``checkpoint_dir/ckpt_epochNNNNN.npz`` after every
+            ``checkpoint_every``-th epoch (atomic writes).
+        resume_from:
+            A checkpoint file, or a directory whose latest checkpoint is
+            used.  The engine must be constructed with the *same*
+            configuration that wrote the checkpoint (enforced by a config
+            fingerprint); the resumed run then continues bit-for-bit: an
+            interrupted-and-resumed search returns a :class:`SearchResult`
+            identical to an uninterrupted one.
+        journal:
+            A :class:`repro.runtime.telemetry.RunJournal` receiving
+            structured per-epoch events (defaults to the no-op journal).
+        """
+        cfg = self.config
+        journal = journal if journal is not None else NullJournal()
+        timers = PhaseTimers()
+        run_start = time.perf_counter()
         alpha = nn.Parameter(self.space.uniform_alpha(), name="alpha")
         alpha_opt = nn.Adam([alpha], lr=cfg.alpha_lr,
                             weight_decay=cfg.alpha_weight_decay)
@@ -210,30 +351,77 @@ class LightNAS:
             w_schedule = nn.CosineSchedule(cfg.w_lr, cfg.epochs)
 
         steps = 0
-        for epoch in range(cfg.epochs):
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch, steps, trajectory = self._restore_state(
+                resolve_checkpoint(resume_from), alpha, alpha_opt, lam, w_opt
+            )
+        manager = (CheckpointManager(checkpoint_dir, every=checkpoint_every)
+                   if checkpoint_dir else None)
+        journal.run_header(
+            engine="lightnas",
+            mode=cfg.mode,
+            metric_name=cfg.metric_name,
+            target=cfg.target,
+            seed=cfg.seed,
+            epochs=cfg.epochs,
+            steps_per_epoch=cfg.steps_per_epoch,
+            space_layers=self.space.num_layers,
+            space_operators=self.space.num_operators,
+            start_epoch=start_epoch,
+            fingerprint=self._fingerprint(),
+        )
+
+        for epoch in range(start_epoch, cfg.epochs):
+            epoch_start = time.perf_counter()
             alpha_schedule.apply(alpha_opt, epoch)
             if cfg.mode == "supernet":
                 w_schedule.apply(w_opt, epoch)
-                self._train_weights_epoch(sampler, alpha, w_opt, epoch)
+                with timers.phase("train_weights"):
+                    self._train_weights_epoch(sampler, alpha, w_opt, epoch)
                 if epoch >= cfg.warmup_epochs:
-                    steps += self._update_alpha_epoch(sampler, alpha, alpha_opt, lam,
-                                                      epoch)
+                    with timers.phase("update_alpha"):
+                        epoch_steps, mean_loss = self._update_alpha_epoch(
+                            sampler, alpha, alpha_opt, lam, epoch)
+                    steps += epoch_steps
+                else:
+                    with timers.phase("warmup_eval"):
+                        mean_loss = self._warmup_valid_loss(sampler, alpha, epoch)
             else:
-                steps += self._update_alpha_epoch(sampler, alpha, alpha_opt, lam, epoch)
+                with timers.phase("update_alpha"):
+                    epoch_steps, mean_loss = self._update_alpha_epoch(
+                        sampler, alpha, alpha_opt, lam, epoch)
+                steps += epoch_steps
 
-            arch = sampler.derive_architecture(alpha)
-            predicted = self.predictor.predict_arch(arch)
-            loss_now = trajectory.valid_loss[-1] if trajectory.valid_loss else 0.0
-            trajectory.record(epoch, predicted, lam.value, loss_now,
+            with timers.phase("derive"):
+                arch = sampler.derive_architecture(alpha)
+                predicted = self.predictor.predict_arch(arch)
+            trajectory.record(epoch, predicted, lam.value, mean_loss,
                               schedule.at(epoch), arch)
+            journal.epoch(
+                epoch=epoch,
+                predicted_metric=round(float(predicted), 6),
+                target=cfg.target,
+                **{"lambda": round(lam.value, 6)},
+                tau=round(schedule.at(epoch), 6),
+                valid_loss=round(float(mean_loss), 6),
+                architecture=list(arch.op_indices),
+                wall_time_s=round(time.perf_counter() - epoch_start, 6),
+            )
             if verbose:
                 print(
                     f"[lightnas] epoch {epoch:3d} metric {predicted:7.3f} "
                     f"(target {cfg.target}) λ {lam.value:+.4f}"
                 )
+            if manager is not None and manager.due(epoch):
+                with timers.phase("checkpoint"):
+                    meta, arrays = self._capture_state(
+                        epoch, steps, alpha, alpha_opt, lam, trajectory, w_opt)
+                    path = manager.save(epoch, meta, arrays)
+                journal.event("checkpoint", epoch=epoch, path=path)
 
         arch = sampler.derive_architecture(alpha)
-        return SearchResult(
+        result = SearchResult(
             architecture=arch,
             predicted_metric=self.predictor.predict_arch(arch),
             target=cfg.target,
@@ -243,6 +431,16 @@ class LightNAS:
             num_search_steps=steps,
             metric_name=cfg.metric_name,
         )
+        journal.run_end(
+            final_predicted_metric=round(result.predicted_metric, 6),
+            final_lambda=round(result.final_lambda, 6),
+            constraint_error=round(result.constraint_error, 6),
+            architecture=list(arch.op_indices),
+            num_search_steps=steps,
+            wall_time_s=round(time.perf_counter() - run_start, 6),
+            phase_timers=timers.as_dict(),
+        )
+        return result
 
     # ------------------------------------------------------------------
     def _train_weights_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
@@ -264,13 +462,20 @@ class LightNAS:
 
     def _update_alpha_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
                             alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
-                            epoch: int) -> int:
-        """One epoch of α descent + λ ascent on the Eq. (10) objective."""
+                            epoch: int) -> Tuple[int, float]:
+        """One epoch of α descent + λ ascent on the Eq. (10) objective.
+
+        Returns ``(steps, mean_valid_loss)`` — the mean of the epoch's
+        actual validation losses, which is what the trajectory records
+        (previously the recorded series was a stale constant 0.0).
+        """
         cfg = self.config
         steps = 0
+        loss_sum = 0.0
         for _ in range(cfg.steps_per_epoch):
             _, gates = sampler.sample_gates(alpha, epoch)
             valid_loss = self._validation_loss(gates)
+            loss_sum += float(valid_loss.data)
             # The latency term uses the *deterministic* binarisation of α:
             # Eq. (4) defines the architecture encoded by α as the per-layer
             # argmax, so LAT(α) is the latency of that architecture, not of
@@ -285,7 +490,34 @@ class LightNAS:
             alpha_opt.step()
             lam.ascend()
             steps += 1
-        return steps
+        return steps, loss_sum / max(steps, 1)
+
+    def _warmup_valid_loss(self, sampler: GumbelSampler, alpha: nn.Parameter,
+                           epoch: int) -> float:
+        """Honest validation loss for warmup epochs (no α update runs).
+
+        Evaluates the current deterministic architecture on one validation
+        batch drawn with a *stateless* per-epoch generator, so the
+        checkpointed RNG streams (Gumbel noise, task batches) that drive
+        the search dynamics are untouched.
+        """
+        cfg = self.config
+        _, gates = sampler.sample_gates(alpha.detach(), epoch,
+                                        deterministic=True)
+        eval_rng = np.random.default_rng((cfg.seed, 0xE7A1, epoch))
+        idx = eval_rng.integers(len(self.task.valid), size=cfg.batch_size)
+        batch = Batch(images=self.task.valid.images[idx],
+                      labels=self.task.valid.labels[idx])
+        was_training = self.supernet.training
+        self.supernet.eval()
+        try:
+            with nn.no_grad():
+                logits = self.supernet.forward_single_path(
+                    nn.Tensor(batch.images), nn.Tensor(gates.data))
+                loss = F.cross_entropy(logits, batch.labels)
+        finally:
+            self.supernet.train(was_training)
+        return float(loss.data)
 
     def _validation_loss(self, gates: nn.Tensor) -> nn.Tensor:
         cfg = self.config

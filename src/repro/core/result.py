@@ -12,6 +12,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..search_space.space import Architecture
 
 __all__ = ["SearchTrajectory", "SearchResult"]
@@ -39,6 +41,45 @@ class SearchTrajectory:
 
     def __len__(self) -> int:
         return len(self.epochs)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support: the trajectory as a flat dict of arrays that
+    # round-trips exactly through ``.npz`` (architectures as an (E, L)
+    # int64 matrix of operator indices).
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        archs = (
+            np.array([a.op_indices for a in self.architectures], dtype=np.int64)
+            if self.architectures
+            else np.zeros((0, 0), dtype=np.int64)
+        )
+        return {
+            "traj_epochs": np.array(self.epochs, dtype=np.int64),
+            "traj_predicted_metric": np.array(self.predicted_metric,
+                                              dtype=np.float64),
+            "traj_lambda_values": np.array(self.lambda_values, dtype=np.float64),
+            "traj_valid_loss": np.array(self.valid_loss, dtype=np.float64),
+            "traj_temperature": np.array(self.temperature, dtype=np.float64),
+            "traj_architectures": archs,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "SearchTrajectory":
+        """Rebuild a trajectory from :meth:`as_arrays` output (strict)."""
+        for key in ("traj_epochs", "traj_predicted_metric", "traj_lambda_values",
+                    "traj_valid_loss", "traj_temperature", "traj_architectures"):
+            if key not in arrays:
+                raise KeyError(f"missing trajectory array {key}")
+        return cls(
+            epochs=[int(e) for e in arrays["traj_epochs"]],
+            predicted_metric=[float(x) for x in arrays["traj_predicted_metric"]],
+            lambda_values=[float(x) for x in arrays["traj_lambda_values"]],
+            valid_loss=[float(x) for x in arrays["traj_valid_loss"]],
+            temperature=[float(x) for x in arrays["traj_temperature"]],
+            architectures=[
+                Architecture(tuple(int(i) for i in row))
+                for row in arrays["traj_architectures"]
+            ],
+        )
 
 
 @dataclass

@@ -56,6 +56,17 @@ def _device_fingerprint(device: DeviceProfile) -> str:
     return hashlib.md5(repr(device).encode()).hexdigest()[:8]
 
 
+def _space_tag(space: SearchSpace) -> str:
+    """Cache-name component for the space geometry.  The paper-scale space
+    keeps the historical (untagged) file names so existing caches stay
+    valid; any other geometry gets its own entry instead of colliding."""
+    default = SearchSpace()
+    if (space.num_layers, space.num_operators) == (
+            default.num_layers, default.num_operators):
+        return ""
+    return f"L{space.num_layers}K{space.num_operators}_"
+
+
 def _cache_path(name: str) -> str:
     cache = os.path.join(results_dir(), "cache")
     os.makedirs(cache, exist_ok=True)
@@ -88,11 +99,10 @@ def _load_predictor(space: SearchSpace, path: str) -> Optional[tuple]:
     predictor = MLPPredictor(space)
     try:
         predictor.load_state_dict(data)
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         raise RuntimeError(
-            f"predictor cache {path!r} is missing parameter {exc}; it does not "
-            f"match this space/predictor — delete the file to re-run the "
-            f"measurement campaign"
+            f"predictor cache {path!r} does not match this space/predictor "
+            f"({exc}) — delete the file to re-run the measurement campaign"
         ) from exc
     return predictor, rmse
 
@@ -106,7 +116,8 @@ def fit_latency_predictor(
 ) -> tuple:
     """Fit (or load) the campaign latency predictor; returns (pred, rmse)."""
     fingerprint = _device_fingerprint(latency_model.device)
-    path = _cache_path(f"latency_predictor_s{seed}_n{num_samples}_{fingerprint}.npz")
+    path = _cache_path(f"latency_predictor_{_space_tag(space)}"
+                       f"s{seed}_n{num_samples}_{fingerprint}.npz")
     if use_cache:
         cached = _load_predictor(space, path)
         if cached is not None:
@@ -131,7 +142,8 @@ def fit_energy_predictor(
 ) -> tuple:
     """Fit (or load) the energy predictor of Figure 8; returns (pred, rmse)."""
     fingerprint = _device_fingerprint(energy_model.device)
-    path = _cache_path(f"energy_predictor_s{seed}_n{num_samples}_{fingerprint}.npz")
+    path = _cache_path(f"energy_predictor_{_space_tag(space)}"
+                       f"s{seed}_n{num_samples}_{fingerprint}.npz")
     if use_cache:
         cached = _load_predictor(space, path)
         if cached is not None:

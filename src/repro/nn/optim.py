@@ -15,7 +15,7 @@ Implements exactly the optimisation recipe of LightNAS §4.1:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -41,6 +41,21 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint support: internal slots (momentum buffers, Adam moments)
+    # as a flat name → array mapping, round-tripping exactly.
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Internal optimizer state (empty for stateless optimizers)."""
+        return {}
+
+    def load_state_arrays(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_arrays` (strict)."""
+        if state:
+            raise KeyError(
+                f"{type(self).__name__} is stateless but got state keys "
+                f"{sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -71,6 +86,18 @@ class SGD(Optimizer):
             v *= self.momentum
             v += g
             p.data = p.data - self.lr * v
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_arrays(self, state: Dict[str, np.ndarray]) -> None:
+        for i, v in enumerate(self._velocity):
+            key = f"velocity.{i}"
+            if key not in state:
+                raise KeyError(f"missing optimizer state {key}")
+            if state[key].shape != v.shape:
+                raise ValueError(f"shape mismatch for optimizer state {key}")
+            v[...] = state[key]
 
 
 class Adam(Optimizer):
@@ -107,6 +134,25 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1 - self.beta2) * g * g
             p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        state = {"t": np.array(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_arrays(self, state: Dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise KeyError("missing optimizer state t")
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            for key, slot in ((f"m.{i}", m), (f"v.{i}", v)):
+                if key not in state:
+                    raise KeyError(f"missing optimizer state {key}")
+                if state[key].shape != slot.shape:
+                    raise ValueError(f"shape mismatch for optimizer state {key}")
+                slot[...] = state[key]
+        self._t = int(state["t"])
 
 
 class GradientAscent(Optimizer):

@@ -1,0 +1,205 @@
+"""Checkpoint/resume for the search engines.
+
+A checkpoint is one ``.npz`` file holding
+
+* an ``__meta__`` JSON record — engine kind, format version, a config
+  *fingerprint*, scalar counters (next epoch, optimisation steps taken),
+  and the serialized RNG bit-generator states, and
+* the state arrays themselves — α and optimizer moments, λ and its
+  history, supernet weights and SGD velocities, the trajectory so far.
+
+Design rules, mirroring the predictor-cache handling in
+:mod:`repro.experiments.shared`:
+
+* **Atomic writes** — the file is written to a temp path in the same
+  directory and ``os.replace``-d into place, so a crash mid-write never
+  leaves a truncated checkpoint where a good one should be.
+* **Loud failures** — an unreadable, truncated, or incompatible file
+  raises :class:`CheckpointError` with a remedy, never silently restarts.
+* **Fingerprinted configs** — resuming under a different configuration
+  (target, space, seed, hyper-parameters) is refused: the restored state
+  would be silently meaningless.
+* **Exact state** — float64 arrays and the RNG bit-generator state
+  round-trip bit-for-bit, which is what makes the resume-parity tests
+  (interrupted run ≡ uninterrupted run) possible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "fingerprint_of",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "resolve_checkpoint",
+    "restore_rng",
+    "rng_state_json",
+    "save_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+_FILE_RE = re.compile(r"^ckpt_epoch(\d+)\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or matched to this run."""
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and RNG state
+# ----------------------------------------------------------------------
+
+def fingerprint_of(*parts: object) -> str:
+    """Short stable hash of the run-defining values.
+
+    Engines hash everything that determines the search dynamics (config
+    fields, space geometry, seed); a checkpoint whose fingerprint does not
+    match the resuming run is refused.
+    """
+    return hashlib.md5(repr(parts).encode()).hexdigest()[:12]
+
+
+def rng_state_json(rng: np.random.Generator) -> str:
+    """Serialize a generator's bit-generator state (JSON keeps big ints)."""
+    return json.dumps(rng.bit_generator.state)
+
+
+def restore_rng(rng: np.random.Generator, state_json: str) -> None:
+    """Restore a generator to a state captured by :func:`rng_state_json`."""
+    rng.bit_generator.state = json.loads(state_json)
+
+
+# ----------------------------------------------------------------------
+# File format
+# ----------------------------------------------------------------------
+
+def save_checkpoint(path: str, meta: Dict[str, object],
+                    arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically write ``meta`` + ``arrays`` to ``path`` (an ``.npz``)."""
+    if "__meta__" in arrays:
+        raise ValueError("'__meta__' is a reserved checkpoint key")
+    meta = dict(meta)
+    meta.setdefault("version", CHECKPOINT_VERSION)
+    payload = {key: np.asarray(value) for key, value in arrays.items()}
+    payload["__meta__"] = np.array(json.dumps(meta))
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Read a checkpoint; loud :class:`CheckpointError` on any defect."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint {path!r} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is unreadable ({exc}); it is corrupt or "
+            f"truncated — delete it and resume from an earlier checkpoint "
+            f"or restart the search"
+        ) from exc
+    if "__meta__" not in arrays:
+        raise CheckpointError(
+            f"checkpoint {path!r} has no '__meta__' record — it was written "
+            f"by an incompatible version or is corrupt; delete it and "
+            f"restart the search"
+        )
+    try:
+        meta = json.loads(str(arrays.pop("__meta__")[()]))
+    except (json.JSONDecodeError, IndexError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} has a corrupt '__meta__' record ({exc}); "
+            f"delete it and restart the search"
+        ) from exc
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {meta.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION} — it was written by an "
+            f"incompatible version of this library"
+        )
+    return meta, arrays
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Path of the highest-epoch checkpoint in ``directory``, if any."""
+    if not os.path.isdir(directory):
+        return None
+    best_epoch, best_name = -1, None
+    for name in os.listdir(directory):
+        match = _FILE_RE.match(name)
+        if match and int(match.group(1)) > best_epoch:
+            best_epoch, best_name = int(match.group(1)), name
+    if best_name is None:
+        return None
+    return os.path.join(directory, best_name)
+
+
+def resolve_checkpoint(path: str) -> str:
+    """Resolve a checkpoint argument: a file, or a directory's latest."""
+    if os.path.isdir(path):
+        latest = latest_checkpoint(path)
+        if latest is None:
+            raise CheckpointError(
+                f"no checkpoint files (ckpt_epoch*.npz) in directory {path!r}"
+            )
+        return latest
+    return path
+
+
+class CheckpointManager:
+    """Periodic checkpoint writer for one search run.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints are written (created if missing).
+    every:
+        Save after every ``every``-th epoch (1 = every epoch).
+    """
+
+    def __init__(self, directory: str, every: int = 10) -> None:
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.directory = directory
+        self.every = int(every)
+        os.makedirs(directory, exist_ok=True)
+
+    def due(self, epoch: int) -> bool:
+        """Whether a checkpoint should be written after 0-indexed ``epoch``."""
+        return (epoch + 1) % self.every == 0
+
+    def path_for(self, epoch: int) -> str:
+        return os.path.join(self.directory, f"ckpt_epoch{epoch:05d}.npz")
+
+    def save(self, epoch: int, meta: Dict[str, object],
+             arrays: Dict[str, np.ndarray]) -> str:
+        path = self.path_for(epoch)
+        save_checkpoint(path, meta, arrays)
+        return path
+
+    def latest(self) -> Optional[str]:
+        return latest_checkpoint(self.directory)

@@ -49,6 +49,19 @@ class TestConfig:
         cfg = LightNASConfig.paper(24.0, epochs=7, steps_per_epoch=3)
         assert cfg.epochs == 7 and cfg.steps_per_epoch == 3
 
+    @pytest.mark.parametrize("alias, canonical", [
+        ("latency", "latency_ms"),
+        ("energy", "energy_mj"),
+        ("macs", "macs_m"),
+        ("latency_ms", "latency_ms"),
+    ])
+    def test_metric_aliases_canonicalized(self, alias, canonical):
+        assert LightNASConfig(metric_name=alias).metric_name == canonical
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            LightNASConfig(metric_name="flops")
+
 
 class TestSurrogateSearch:
     @pytest.fixture(scope="class")
@@ -80,6 +93,40 @@ class TestSurrogateSearch:
     def test_lambda_history_moves(self, result):
         lams = result.trajectory.lambda_values
         assert max(abs(l) for l in lams) > 1e-4
+
+
+class TestTrajectoryValidLoss:
+    """Regression: trajectory.valid_loss was a stale constant 0.0."""
+
+    def test_records_epoch_mean_of_actual_losses(self, tiny_space,
+                                                 tiny_predictor, tiny_oracle):
+        cfg = LightNASConfig(space=tiny_space, target=2.3, mode="surrogate",
+                             epochs=6, steps_per_epoch=3, seed=0)
+        engine = LightNAS(cfg, predictor=tiny_predictor, oracle=tiny_oracle)
+        seen = []
+        original = engine._validation_loss
+
+        def spy(gates):
+            out = original(gates)
+            seen.append(float(out.data))
+            return out
+
+        engine._validation_loss = spy
+        traj = engine.search().trajectory
+        steps = cfg.steps_per_epoch
+        means = [sum(seen[e * steps:(e + 1) * steps]) / steps
+                 for e in range(cfg.epochs)]
+        assert traj.valid_loss == pytest.approx(means)
+        assert len(set(traj.valid_loss)) > 1  # not a stale constant
+
+    def test_supernet_mode_records_nonzero_losses(self, tiny_latency_model):
+        cfg = LightNASConfig.tiny(latency_target_ms=2.3, seed=4,
+                                  epochs=4, steps_per_epoch=2, warmup_epochs=2)
+        traj = LightNAS(cfg).search().trajectory
+        # every epoch — warmup included — reports a real validation loss
+        assert len(traj.valid_loss) == 4
+        assert all(v > 0.0 for v in traj.valid_loss)
+        assert len(set(traj.valid_loss)) > 1
 
 
 class TestTargetSweep:

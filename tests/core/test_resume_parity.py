@@ -1,0 +1,178 @@
+"""Fault-injection resume-parity tests.
+
+"You only search once" makes a crashed run maximally expensive, so the
+checkpoint/resume path must be *exact*: a search killed at an arbitrary
+epoch and resumed from its latest checkpoint must produce the identical
+:class:`SearchResult` — architecture, predicted metric, final λ, and the
+full trajectory, bit for bit — as an uninterrupted run.
+
+The kill is injected through the telemetry interface (a journal that
+raises at a Hypothesis-chosen epoch), which aborts the loop exactly where
+a real crash would: after the epoch's work, before its checkpoint.
+"""
+
+import glob
+import os
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.proxy.dataset import SyntheticTask
+from repro.runtime.checkpoint import CheckpointError
+from repro.runtime.telemetry import NullJournal
+
+SURROGATE_EPOCHS = 8
+
+
+class KillAtEpoch(NullJournal):
+    """Journal that simulates a crash at a chosen epoch."""
+
+    def __init__(self, kill_epoch: int) -> None:
+        super().__init__()
+        self.kill_epoch = kill_epoch
+
+    def epoch(self, **fields) -> None:
+        if fields["epoch"] == self.kill_epoch:
+            raise KeyboardInterrupt(f"injected crash at epoch {self.kill_epoch}")
+
+
+def _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle) -> LightNAS:
+    cfg = LightNASConfig(space=tiny_space, target=2.3, mode="surrogate",
+                         epochs=SURROGATE_EPOCHS, steps_per_epoch=2,
+                         batch_size=8, seed=3)
+    return LightNAS(cfg, predictor=tiny_predictor, oracle=tiny_oracle)
+
+
+def _supernet_engine(tiny_space, tiny_predictor) -> LightNAS:
+    cfg = LightNASConfig.tiny(latency_target_ms=2.3, seed=0, epochs=6,
+                              steps_per_epoch=2, warmup_epochs=2, batch_size=8)
+    # fresh task per engine: its batch RNG is part of the checkpointed state
+    macro = cfg.space.macro
+    task = SyntheticTask(num_classes=macro.num_classes,
+                         resolution=macro.input_resolution,
+                         train_size=64, valid_size=32, seed=5)
+    return LightNAS(cfg, predictor=tiny_predictor, task=task)
+
+
+def _assert_identical(resumed, reference) -> None:
+    assert resumed.summary() == reference.summary()
+    assert resumed.architecture == reference.architecture
+    assert resumed.predicted_metric == reference.predicted_metric
+    assert resumed.final_lambda == reference.final_lambda
+    traj_a, traj_b = resumed.trajectory, reference.trajectory
+    assert traj_a.epochs == traj_b.epochs
+    assert traj_a.predicted_metric == traj_b.predicted_metric
+    assert traj_a.lambda_values == traj_b.lambda_values
+    assert traj_a.valid_loss == traj_b.valid_loss
+    assert traj_a.temperature == traj_b.temperature
+    assert traj_a.architectures == traj_b.architectures
+
+
+@pytest.fixture(scope="module")
+def surrogate_reference(tiny_space, tiny_predictor, tiny_oracle):
+    return _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle).search()
+
+
+@pytest.fixture(scope="module")
+def supernet_reference(tiny_space, tiny_predictor):
+    return _supernet_engine(tiny_space, tiny_predictor).search()
+
+
+class TestSurrogateResumeParity:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(kill_epoch=st.integers(1, SURROGATE_EPOCHS - 1),
+           every=st.integers(1, 3))
+    def test_kill_anywhere_resume_is_bit_for_bit(
+            self, tmp_path, tiny_space, tiny_predictor, tiny_oracle,
+            surrogate_reference, kill_epoch, every):
+        # a checkpoint must exist before the crash for resume to have a base
+        assume(kill_epoch >= every)
+        directory = str(tmp_path / f"kill{kill_epoch}_every{every}")
+        engine = _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle)
+        with pytest.raises(KeyboardInterrupt):
+            engine.search(checkpoint_dir=directory, checkpoint_every=every,
+                          journal=KillAtEpoch(kill_epoch))
+        resumed = _surrogate_engine(
+            tiny_space, tiny_predictor, tiny_oracle
+        ).search(resume_from=directory)
+        _assert_identical(resumed, surrogate_reference)
+
+    def test_resume_after_completion_reproduces_result(
+            self, tmp_path, tiny_space, tiny_predictor, tiny_oracle,
+            surrogate_reference):
+        directory = str(tmp_path / "full")
+        _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle).search(
+            checkpoint_dir=directory, checkpoint_every=1)
+        resumed = _surrogate_engine(
+            tiny_space, tiny_predictor, tiny_oracle
+        ).search(resume_from=directory)
+        _assert_identical(resumed, surrogate_reference)
+
+
+class TestSupernetResumeParity:
+    @pytest.mark.parametrize("kill_epoch", [2, 4])
+    def test_kill_and_resume_is_bit_for_bit(
+            self, tmp_path, tiny_space, tiny_predictor, supernet_reference,
+            kill_epoch):
+        directory = str(tmp_path / f"kill{kill_epoch}")
+        engine = _supernet_engine(tiny_space, tiny_predictor)
+        with pytest.raises(KeyboardInterrupt):
+            engine.search(checkpoint_dir=directory, checkpoint_every=1,
+                          journal=KillAtEpoch(kill_epoch))
+        resumed = _supernet_engine(tiny_space, tiny_predictor).search(
+            resume_from=directory)
+        _assert_identical(resumed, supernet_reference)
+
+
+class TestResumeFailureModes:
+    def _checkpointed_dir(self, tmp_path, tiny_space, tiny_predictor,
+                          tiny_oracle) -> str:
+        directory = str(tmp_path / "ckpts")
+        _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle).search(
+            checkpoint_dir=directory, checkpoint_every=2)
+        return directory
+
+    def test_truncated_checkpoint_fails_loud(self, tmp_path, tiny_space,
+                                             tiny_predictor, tiny_oracle):
+        directory = self._checkpointed_dir(tmp_path, tiny_space,
+                                           tiny_predictor, tiny_oracle)
+        latest = sorted(glob.glob(os.path.join(directory, "*.npz")))[-1]
+        blob = open(latest, "rb").read()
+        with open(latest, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+        engine = _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle)
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            engine.search(resume_from=directory)
+
+    def test_config_mismatch_fails_loud(self, tmp_path, tiny_space,
+                                        tiny_predictor, tiny_oracle):
+        directory = self._checkpointed_dir(tmp_path, tiny_space,
+                                           tiny_predictor, tiny_oracle)
+        other = LightNASConfig(space=tiny_space, target=2.0, mode="surrogate",
+                               epochs=SURROGATE_EPOCHS, steps_per_epoch=2,
+                               batch_size=8, seed=3)
+        engine = LightNAS(other, predictor=tiny_predictor, oracle=tiny_oracle)
+        with pytest.raises(CheckpointError, match="different configuration"):
+            engine.search(resume_from=directory)
+
+    def test_wrong_engine_kind_fails_loud(self, tmp_path, tiny_space,
+                                          tiny_predictor, tiny_oracle,
+                                          tiny_latency_model):
+        from repro.baselines.rl_search import RLSearch, RLSearchConfig
+
+        directory = self._checkpointed_dir(tmp_path, tiny_space,
+                                           tiny_predictor, tiny_oracle)
+        cfg = RLSearchConfig(space=tiny_space, target=2.3, iterations=5,
+                             batch_archs=2, seed=0)
+        engine = RLSearch(cfg, tiny_latency_model, tiny_oracle)
+        with pytest.raises(CheckpointError, match="belongs to engine"):
+            engine.search(resume_from=directory)
+
+    def test_empty_directory_fails_loud(self, tmp_path, tiny_space,
+                                        tiny_predictor, tiny_oracle):
+        engine = _surrogate_engine(tiny_space, tiny_predictor, tiny_oracle)
+        with pytest.raises(CheckpointError, match="no checkpoint files"):
+            engine.search(resume_from=str(tmp_path))

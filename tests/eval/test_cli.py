@@ -1,6 +1,8 @@
 """Tests of the command-line interface."""
 
+import glob
 import json
+import os
 
 import pytest
 
@@ -73,3 +75,46 @@ class TestSearch:
         assert abs(stdout_payload["true_latency_ms"] - 2.3) < 0.3
         with open(output) as handle:
             assert json.load(handle) == stdout_payload
+
+    def test_tiny_honors_epochs(self, capsys):
+        """Regression: --tiny used to silently ignore --epochs."""
+        assert main(["search", "--tiny", "--target", "2.3", "--seed", "0",
+                     "--epochs", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # tiny config: 4 α steps per epoch, 2 warmup epochs
+        assert payload["num_search_steps"] == (3 - 2) * 4
+
+    def test_tiny_rejects_unsupported_metric(self):
+        """Regression: --tiny used to silently ignore --metric."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "--tiny", "--target", "2.3", "--metric", "energy"])
+        assert "--metric latency only" in str(excinfo.value)
+
+
+class TestRuntimeFlags:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "--tiny", "--target", "2.3", "--resume"])
+        assert "--checkpoint-dir" in str(excinfo.value)
+
+    def test_checkpoint_resume_trace_round_trip(self, capsys, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpts")
+        trace = str(tmp_path / "run.jsonl")
+        args = ["search", "--tiny", "--target", "2.3", "--seed", "0",
+                "--epochs", "3", "--checkpoint-dir", ckpt_dir,
+                "--checkpoint-every", "1", "--trace", trace]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert len(glob.glob(os.path.join(ckpt_dir, "*.npz"))) == 3
+
+        # drop the newest checkpoint so the resume really replays an epoch
+        os.remove(sorted(glob.glob(os.path.join(ckpt_dir, "*.npz")))[-1])
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert json.loads(captured.out) == first
+
+        assert main(["trace-summary", trace]) == 0
+        summary = capsys.readouterr().out
+        assert "lightnas" in summary
+        assert "resumed" in summary

@@ -122,6 +122,23 @@ class TestPredictorCache:
             fit_latency_predictor(tiny_space, tiny_latency_model,
                                   seed=9, num_samples=300)
 
+    def test_cache_keyed_by_space_geometry(self, tmp_path, monkeypatch,
+                                           tiny_space, tiny_latency_model):
+        """Regression: a tiny-space fit used to collide with (and crash on)
+        a cached paper-scale predictor sharing seed/size/device."""
+        from repro.experiments.shared import _space_tag
+        from repro.search_space.space import SearchSpace
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        fit_latency_predictor(tiny_space, tiny_latency_model,
+                              seed=11, num_samples=300)
+        cache_dir = os.path.join(str(tmp_path), "cache")
+        (name,) = os.listdir(cache_dir)
+        assert f"L{tiny_space.num_layers}K{tiny_space.num_operators}_" in name
+        # the paper-scale space keeps the historical untagged names, so
+        # caches tracked in the repo stay valid
+        assert _space_tag(SearchSpace()) == ""
+
     def test_use_cache_false_ignores_cache(self, tmp_path, monkeypatch,
                                            tiny_space, tiny_latency_model):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))

@@ -1,0 +1,129 @@
+"""Tests of the checkpoint file format, manager, and loud failure modes."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    fingerprint_of,
+    latest_checkpoint,
+    load_checkpoint,
+    resolve_checkpoint,
+    restore_rng,
+    rng_state_json,
+    save_checkpoint,
+)
+
+
+class TestRoundTrip:
+    def test_meta_and_arrays_round_trip_exactly(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        rng = np.random.default_rng(0)
+        arrays = {"alpha": rng.normal(size=(4, 7)),
+                  "counts": np.arange(5, dtype=np.int64)}
+        meta = {"kind": "lightnas", "next_epoch": 3, "rng_state": "{}"}
+        save_checkpoint(path, meta, arrays)
+        loaded_meta, loaded = load_checkpoint(path)
+        assert loaded_meta["kind"] == "lightnas"
+        assert loaded_meta["next_epoch"] == 3
+        assert loaded_meta["version"] == CHECKPOINT_VERSION
+        np.testing.assert_array_equal(loaded["alpha"], arrays["alpha"])
+        np.testing.assert_array_equal(loaded["counts"], arrays["counts"])
+        assert loaded["alpha"].dtype == np.float64
+
+    def test_rng_state_round_trips_bit_for_bit(self):
+        rng = np.random.default_rng(123)
+        rng.normal(size=100)  # advance
+        state = rng_state_json(rng)
+        expected = rng.normal(size=10)
+        fresh = np.random.default_rng(0)
+        restore_rng(fresh, state)
+        np.testing.assert_array_equal(fresh.normal(size=10), expected)
+
+    def test_reserved_meta_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "x.npz"), {},
+                            {"__meta__": np.zeros(1)})
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_checkpoint(str(tmp_path / "a.npz"), {"kind": "t"},
+                        {"x": np.zeros(3)})
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+
+
+class TestLoudFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, {"kind": "t"}, {"x": np.arange(100.0)})
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_checkpoint(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"not an npz at all")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_missing_meta_record(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        np.savez(open(path, "wb"), x=np.zeros(3))
+        with pytest.raises(CheckpointError, match="__meta__"):
+            load_checkpoint(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        payload = {"__meta__": np.array(json.dumps({"version": 999}))}
+        np.savez(open(path, "wb"), **payload)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path)
+
+    def test_resolve_empty_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint files"):
+            resolve_checkpoint(str(tmp_path))
+
+
+class TestManager:
+    def test_due_schedule(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), every=3)
+        assert [manager.due(e) for e in range(6)] == [
+            False, False, True, False, False, True]
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), every=0)
+
+    def test_latest_picks_highest_epoch(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), every=1)
+        for epoch in (0, 4, 11):
+            manager.save(epoch, {"kind": "t"}, {"x": np.array([epoch])})
+        latest = manager.latest()
+        assert latest.endswith("ckpt_epoch00011.npz")
+        assert resolve_checkpoint(str(tmp_path)) == latest
+        meta, arrays = load_checkpoint(latest)
+        assert arrays["x"][0] == 11
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        assert latest_checkpoint(str(tmp_path / "missing")) is None
+
+
+class TestFingerprint:
+    def test_stable_and_sensitive(self):
+        a = fingerprint_of("lightnas", 24.0, "latency_ms", 90)
+        assert a == fingerprint_of("lightnas", 24.0, "latency_ms", 90)
+        assert a != fingerprint_of("lightnas", 25.0, "latency_ms", 90)
+        assert len(a) == 12
