@@ -1,0 +1,138 @@
+"""Warm-archive benchmark for the evaluation cache (BENCH_archive.json).
+
+Runs the same seeded evolution search three times —
+
+* **cold**: no cache, every genotype hits the predictor / oracle,
+* **populate**: cached run that flushes its evaluations into an archive,
+* **warm**: fresh process-equivalent rerun preloaded from that archive,
+
+— and records wall times plus the warm run's cache hit rate.  The warm
+result must be bit-identical to the cold one (that is the archive
+subsystem's acceptance criterion), which ``--check`` additionally asserts
+together with a non-trivial hit rate.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_archive.py
+    PYTHONPATH=src python benchmarks/bench_archive.py --cycles 12 \
+        --population 8 --check          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.archive.cache import EvalCache
+from repro.archive.store import ArchitectureArchive
+from repro.baselines.evolution import EvolutionConfig, EvolutionSearch
+from repro.predictor.dataset import collect_latency_dataset
+from repro.predictor.mlp import MLPPredictor
+from repro.proxy.accuracy_model import AccuracyOracle
+from repro.hardware.latency import LatencyModel
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+
+def fit_tiny_predictor(space: SearchSpace) -> MLPPredictor:
+    rng = np.random.default_rng(11)
+    data = collect_latency_dataset(LatencyModel(space), 600, rng)
+    train, _ = data.split(0.8, rng)
+    predictor = MLPPredictor(space, hidden=(64, 32), seed=0)
+    predictor.fit(train, epochs=120, batch_size=128, lr=3e-3,
+                  weight_decay=0.0)
+    return predictor
+
+
+def timed_search(config, predictor, oracle, cache=None):
+    engine = EvolutionSearch(config, predictor, oracle, cache=cache)
+    start = time.perf_counter()
+    result = engine.search()
+    return result, time.perf_counter() - start
+
+
+def run(cycles: int, population: int, check: bool) -> dict:
+    space = SearchSpace(MacroConfig.tiny())
+    predictor = fit_tiny_predictor(space)
+    oracle = AccuracyOracle(space)
+    config = EvolutionConfig(space=space, target=4.0,
+                             population_size=population,
+                             tournament_size=max(2, population // 2),
+                             cycles=cycles, seed=17)
+
+    cold, cold_s = timed_search(config, predictor, oracle)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "archive.jsonl")
+        with ArchitectureArchive(path, space=space) as archive:
+            cache = EvalCache(predictor, oracle, archive=archive)
+            populate, populate_s = timed_search(config, predictor, oracle,
+                                                cache=cache)
+        with ArchitectureArchive(path, space=space) as archive:
+            warm_cache = EvalCache(predictor, oracle, archive=archive)
+            warm, warm_s = timed_search(config, predictor, oracle,
+                                        cache=warm_cache)
+            counters = warm_cache.counters()
+            archived = len(archive)
+
+    identical = (warm.architecture == cold.architecture
+                 and warm.predicted_metric == cold.predicted_metric
+                 and warm.num_search_steps == cold.num_search_steps)
+    assert identical, "warm rerun diverged from the cold run"
+
+    results = {
+        "cycles": cycles,
+        "population_size": population,
+        "archived_genotypes": archived,
+        "cold_wall_seconds": cold_s,
+        "populate_wall_seconds": populate_s,
+        "warm_wall_seconds": warm_s,
+        "warm_speedup_vs_cold": cold_s / warm_s,
+        "warm_cache_hit_rate": counters["cache_hit_rate"],
+        "warm_fitness_misses": counters["fitness_misses"],
+        "bit_identical": identical,
+    }
+
+    if check:
+        assert counters["cache_hit_rate"] > 0, "warm run never hit the cache"
+        assert counters["fitness_misses"] == 0, \
+            "warm run re-ran the oracle for already-archived genotypes"
+
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=150,
+                        help="evolution cycles per run")
+    parser.add_argument("--population", type=int, default=24,
+                        help="evolution population size")
+    parser.add_argument("--check", action="store_true",
+                        help="assert bit-identity and a non-zero hit rate")
+    args = parser.parse_args()
+
+    results = run(args.cycles, args.population, args.check)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    rows = [
+        ["cold (no cache)", f"{results['cold_wall_seconds']:.3f}", "—"],
+        ["populate (cache + flush)",
+         f"{results['populate_wall_seconds']:.3f}", "—"],
+        ["warm (preloaded archive)", f"{results['warm_wall_seconds']:.3f}",
+         f"{100 * results['warm_cache_hit_rate']:.1f}%"],
+    ]
+    print(render_table(
+        ["run", "wall (s)", "cache hit rate"], rows,
+        title=f"Warm-archive evolution — {results['archived_genotypes']} "
+              f"genotypes archived, bit-identical result"))
+    path = save_json("BENCH_archive", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

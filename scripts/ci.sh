@@ -18,6 +18,11 @@ python -m pytest -x -q tests/core/test_resume_parity.py \
 # timing run (speedup thresholds are only checked at full size).
 python benchmarks/bench_perf_hotpaths.py --pop-n 200 --campaign-n 100 --predict-n 200
 
+# Tiny-N smoke of the warm-archive benchmark: asserts the warm evolution
+# rerun is bit-identical with a non-zero cache hit rate and writes
+# BENCH_archive.json.
+python benchmarks/bench_archive.py --cycles 12 --population 8 --check
+
 # End-to-end telemetry smoke: a traced tiny search whose journal is kept as
 # a CI artifact (see .github/workflows/ci.yml).
 mkdir -p artifacts
@@ -25,3 +30,40 @@ python -m repro search --tiny --target 2.3 --seed 0 --epochs 3 \
     --checkpoint-dir artifacts/ckpts --checkpoint-every 1 \
     --trace artifacts/ci_run.jsonl > /dev/null
 python -m repro trace-summary artifacts/ci_run.jsonl
+
+# Serve smoke: boot the JSON API on an ephemeral port (the analytic macs
+# predictor needs no campaign, so startup is instant), POST a predict
+# batch, confirm /stats saw it, and shut the server down cleanly.
+python - <<'PY'
+import json, re, subprocess, sys, urllib.request
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--tiny", "--metric", "macs",
+     "--port", "0"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+try:
+    line = proc.stdout.readline().strip()
+    match = re.search(r"http://[\d.]+:\d+", line)
+    assert match, f"serve did not announce its address: {line!r}"
+    base = match.group(0)
+
+    def post(endpoint, payload):
+        request = urllib.request.Request(
+            base + endpoint, json.dumps(payload).encode(),
+            {"Content-Type": "application/json"})
+        return json.loads(urllib.request.urlopen(request, timeout=30).read())
+
+    batch = [[1, 1, 1, 1], [2, 0, 3, 1], [0, 0, 0, 0]]
+    body = post("/predict", {"archs": batch})
+    assert body["count"] == 3 and len(body["predictions"]) == 3, body
+    stats = json.loads(
+        urllib.request.urlopen(base + "/stats", timeout=30).read())
+    assert stats["predict_requests"] >= 1, stats
+    assert stats["predict_batches"] >= 1, stats
+    post("/shutdown", {})
+    assert proc.wait(timeout=30) == 0, "serve exited non-zero"
+    print(f"serve smoke OK: {base} answered a {body['count']}-arch batch")
+finally:
+    if proc.poll() is None:
+        proc.kill()
+PY

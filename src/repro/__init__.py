@@ -18,6 +18,8 @@ Embedded Platforms", including every substrate the paper depends on:
   SSDLite detection transfer, search-cost accounting.
 * :mod:`repro.runtime` — bit-for-bit checkpoint/resume and JSON-lines
   run telemetry for the search engines.
+* :mod:`repro.archive` — persistent architecture archive, vectorized query
+  engine, memoizing evaluation cache, and the batched ``repro serve`` API.
 
 Quickstart
 ----------
@@ -41,6 +43,9 @@ _LAZY_EXPORTS = {
     "SearchSpace": ("repro.search_space.space", "SearchSpace"),
     "CheckpointError": ("repro.runtime.checkpoint", "CheckpointError"),
     "RunJournal": ("repro.runtime.telemetry", "RunJournal"),
+    "ArchitectureArchive": ("repro.archive.store", "ArchitectureArchive"),
+    "ArchiveError": ("repro.archive.store", "ArchiveError"),
+    "EvalCache": ("repro.archive.cache", "EvalCache"),
 }
 
 __all__ = list(_LAZY_EXPORTS) + ["__version__"]
@@ -57,6 +62,8 @@ def __getattr__(name: str):
 
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from .archive.cache import EvalCache
+    from .archive.store import ArchitectureArchive, ArchiveError
     from .core.lightnas import LightNAS, LightNASConfig
     from .core.result import SearchResult
     from .runtime.checkpoint import CheckpointError

@@ -1,0 +1,42 @@
+"""Persistent architecture archive, query engine, cache, and service.
+
+* :mod:`repro.archive.store` — append-only crash-safe on-disk archive with
+  an in-memory numpy index (:class:`ArchitectureArchive`).
+* :mod:`repro.archive.query` — vectorized top-k / Pareto / Hamming-NN
+  queries over the stacked index.
+* :mod:`repro.archive.cache` — :class:`EvalCache`, the memoizing layer the
+  search baselines evaluate through.
+* :mod:`repro.archive.service` — the batched JSON API behind
+  ``python -m repro serve``.
+"""
+
+from .cache import EvalCache, model_fingerprint, oracle_fingerprint
+from .query import describe_rows, hamming_neighbors, pareto_rows, top_k
+from .service import ArchiveService, BatchingPredictor, make_server
+from .store import (
+    ArchitectureArchive,
+    ArchiveError,
+    ArchiveIndex,
+    ArchRecord,
+    arch_key,
+    repair_archive,
+)
+
+__all__ = [
+    "ArchRecord",
+    "ArchitectureArchive",
+    "ArchiveError",
+    "ArchiveIndex",
+    "ArchiveService",
+    "BatchingPredictor",
+    "EvalCache",
+    "arch_key",
+    "describe_rows",
+    "hamming_neighbors",
+    "make_server",
+    "model_fingerprint",
+    "oracle_fingerprint",
+    "pareto_rows",
+    "repair_archive",
+    "top_k",
+]

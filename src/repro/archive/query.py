@@ -1,0 +1,142 @@
+"""Vectorized query engine over the archive's numpy index.
+
+All queries operate on the stacked :class:`~repro.archive.store.ArchiveIndex`
+arrays — no Python loop over records:
+
+* :func:`top_k` — best-k under latency/energy/MACs/params budgets,
+* :func:`pareto_rows` — the per-device cost/score Pareto frontier
+  (delegating to :func:`repro.eval.pareto.pareto_mask`),
+* :func:`hamming_neighbors` — nearest genotypes by one-hot Hamming
+  distance,
+* :func:`describe_rows` — JSON-ready result rows for the CLI / service.
+
+Budgets reference metric names: the architecture-global ``macs_m`` /
+``params_m``, or the per-device ``latency_ms`` / ``energy_mj`` /
+``measured_latency_ms`` / ``measured_energy_mj`` (which require a device).
+Rows missing a budgeted or optimised metric are excluded — an unknown cost
+cannot be certified to fit a budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.pareto import pareto_mask
+from .store import DEVICE_COST_METRICS, GLOBAL_METRICS, ArchiveIndex
+
+__all__ = ["top_k", "pareto_rows", "hamming_neighbors", "describe_rows",
+           "QUERY_METRICS"]
+
+#: every metric name a query may reference
+QUERY_METRICS = GLOBAL_METRICS + DEVICE_COST_METRICS
+
+
+def _column(index: ArchiveIndex, metric: str,
+            device: Optional[str]) -> np.ndarray:
+    if metric not in QUERY_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {QUERY_METRICS}")
+    return index.column(metric, device)
+
+
+def _budget_mask(index: ArchiveIndex, budgets: Dict[str, float],
+                 device: Optional[str]) -> np.ndarray:
+    mask = np.ones(len(index), dtype=bool)
+    for metric, limit in budgets.items():
+        column = _column(index, metric, device)
+        mask &= np.isfinite(column) & (column <= float(limit))
+    return mask
+
+
+def top_k(index: ArchiveIndex, k: int, *,
+          objective: str = "score",
+          device: Optional[str] = None,
+          budgets: Optional[Dict[str, float]] = None) -> np.ndarray:
+    """Row indices of the best ``k`` archived architectures.
+
+    ``objective="score"`` maximises the accuracy-proxy score; any cost
+    metric name minimises it.  Ties break by row order (stable), so results
+    are deterministic across reopens of the same archive.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    values = _column(index, objective, device)
+    feasible = np.isfinite(values) & _budget_mask(index, budgets or {},
+                                                  device)
+    ranked = values.copy()
+    if objective == "score":
+        ranked = -ranked
+    ranked[~feasible] = np.inf
+    order = np.argsort(ranked, kind="stable")
+    return order[:min(k, int(feasible.sum()))]
+
+
+def pareto_rows(index: ArchiveIndex, *,
+                device: str,
+                cost_metric: str = "latency_ms",
+                quality: str = "score") -> np.ndarray:
+    """Rows on the per-device (cost ↓, quality ↑) Pareto frontier.
+
+    Returned sorted by ascending cost.  Rows missing either coordinate are
+    excluded before the sweep.
+    """
+    costs = _column(index, cost_metric, device)
+    qualities = _column(index, quality, device)
+    valid = np.nonzero(np.isfinite(costs) & np.isfinite(qualities))[0]
+    if valid.size == 0:
+        return valid
+    mask = pareto_mask(costs[valid], qualities[valid])
+    front = valid[mask]
+    return front[np.argsort(costs[front], kind="stable")]
+
+
+def hamming_neighbors(index: ArchiveIndex, op_indices: Sequence[int],
+                      k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``k`` archived genotypes nearest to a query architecture.
+
+    Distance is the Hamming distance between one-hot encodings divided by
+    two — i.e. the number of layers whose operator differs — computed as
+    one ``(N, L)`` comparison, no per-record loop.  Returns ``(rows,
+    distances)`` sorted by ascending distance (row order breaks ties).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    query = np.asarray(op_indices, dtype=np.int64)
+    if query.shape != (index.ops.shape[1],):
+        raise ValueError(
+            f"query architecture has {query.size} layers, archive holds "
+            f"{index.ops.shape[1]}-layer genotypes")
+    distances = (index.ops != query[None, :]).sum(axis=1)
+    order = np.argsort(distances, kind="stable")[:min(k, len(index))]
+    return order, distances[order]
+
+
+def describe_rows(index: ArchiveIndex, rows: np.ndarray,
+                  device: Optional[str] = None) -> List[dict]:
+    """JSON-ready dicts for selected rows (CLI / service responses)."""
+    out: List[dict] = []
+    for row in np.asarray(rows, dtype=np.int64).tolist():
+        entry: Dict[str, object] = {
+            "op_indices": index.ops[row].tolist(),
+            "key": index.keys[row],
+        }
+        for metric in GLOBAL_METRICS:
+            value = float(getattr(index, metric)[row])
+            if np.isfinite(value):
+                entry[metric] = value
+        devices = [device] if device else index.devices
+        for name in devices:
+            if name not in index.devices:
+                continue
+            d = index.devices.index(name)
+            metrics = {
+                metric: float(index.cost[row, d, m])
+                for m, metric in enumerate(DEVICE_COST_METRICS)
+                if np.isfinite(index.cost[row, d, m])
+            }
+            if metrics:
+                entry.setdefault("devices", {})[name] = metrics
+        out.append(entry)
+    return out

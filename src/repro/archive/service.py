@@ -1,0 +1,364 @@
+"""Batched JSON query service over the predictor and the archive.
+
+``python -m repro serve`` turns the library into a small traffic-serving
+system: a stdlib :mod:`http.server` JSON API exposing
+
+* ``POST /predict`` — metric predictions for a batch of architectures,
+* ``POST /query``   — budgeted top-k over the archive,
+* ``POST /pareto``  — the per-device cost/score Pareto frontier,
+* ``POST /nearest`` — Hamming nearest neighbours of a genotype,
+* ``GET  /stats``   — request/batch counters and archive summary,
+* ``GET  /health``  — liveness probe,
+* ``POST /shutdown``— clean remote shutdown (used by the CI smoke test).
+
+The serving hot path is the :class:`BatchingPredictor`: concurrent
+``/predict`` requests are coalesced by a dispatcher thread into single
+:meth:`~repro.predictor.mlp.MLPPredictor.predict_population` calls — a
+burst of R requests is answered with far fewer than R predictor forwards,
+which ``/stats`` makes observable (``predict_requests`` vs
+``predict_batches``).  Each architecture's prediction is bit-identical to a
+direct ``predict_population`` call (row-subset parity, see
+:mod:`repro.archive.cache`), so batching is invisible to clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..search_space.space import SearchSpace
+from . import query as queries
+from .store import ArchitectureArchive
+
+__all__ = ["ArchiveService", "BatchingPredictor", "make_server"]
+
+
+class _Pending:
+    """One enqueued predict request awaiting its slice of a batch."""
+
+    __slots__ = ("ops", "event", "result", "error")
+
+    def __init__(self, ops: np.ndarray) -> None:
+        self.ops = ops
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[Exception] = None
+
+
+class BatchingPredictor:
+    """Coalesce concurrent predict calls into single batched forwards.
+
+    Parameters
+    ----------
+    predictor:
+        Anything with ``predict_population((N, L) ops) -> (N,)``.
+    space:
+        Validates incoming op-index matrices.
+    window_s:
+        How long the dispatcher waits after the first request of a batch
+        for stragglers to join (the batching window).
+    max_batch:
+        Dispatch early once this many architectures are pending.
+    """
+
+    def __init__(self, predictor, space: SearchSpace, *,
+                 window_s: float = 0.004, max_batch: int = 8192) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.predictor = predictor
+        self.space = space
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.requests = 0
+        self.batches = 0
+        self.archs = 0
+        self.largest_batch = 0
+        self._pending: List[_Pending] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="predict-batcher")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def predict(self, archs, timeout: float = 30.0) -> np.ndarray:
+        """Blocking batched prediction for one caller's architectures."""
+        ops = self.space.as_index_matrix(archs)
+        item = _Pending(ops)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("the batching predictor is closed")
+            self.requests += 1
+            self._pending.append(item)
+            self._cond.notify_all()
+        if not item.event.wait(timeout):
+            raise TimeoutError("batched prediction timed out")
+        if item.error is not None:
+            raise item.error
+        assert item.result is not None
+        return item.result
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                # batching window: wait for stragglers after the first
+                # request arrives, dispatching early at max_batch
+                deadline = time.monotonic() + self.window_s
+                while not self._closed:
+                    size = sum(len(p.ops) for p in self._pending)
+                    remaining = deadline - time.monotonic()
+                    if size >= self.max_batch or remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch, self._pending = self._pending, []
+            stacked = np.concatenate([p.ops for p in batch], axis=0)
+            try:
+                predictions = self.predictor.predict_population(stacked)
+            except Exception as exc:  # surface to every waiter, keep serving
+                for item in batch:
+                    item.error = exc
+                    item.event.set()
+                continue
+            with self._cond:
+                self.batches += 1
+                self.archs += len(stacked)
+                self.largest_batch = max(self.largest_batch, len(stacked))
+            offset = 0
+            for item in batch:
+                item.result = predictions[offset:offset + len(item.ops)]
+                offset += len(item.ops)
+                item.event.set()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "predict_requests": self.requests,
+                "predict_batches": self.batches,
+                "predict_archs": self.archs,
+                "largest_batch": self.largest_batch,
+            }
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+class ArchiveService:
+    """Request handlers behind the HTTP endpoints (also usable in-process)."""
+
+    def __init__(self, space: SearchSpace, predictor, *,
+                 metric_name: str = "latency_ms",
+                 device_name: str = "",
+                 archive: Optional[ArchitectureArchive] = None,
+                 window_s: float = 0.004, max_batch: int = 8192) -> None:
+        self.space = space
+        self.metric_name = metric_name
+        self.device_name = device_name
+        self.archive = archive
+        self.batcher = BatchingPredictor(predictor, space,
+                                         window_s=window_s,
+                                         max_batch=max_batch)
+        self.started = time.time()
+        self._endpoint_counts: Dict[str, int] = {}
+        self._count_lock = threading.Lock()
+
+    def _count(self, endpoint: str) -> None:
+        with self._count_lock:
+            self._endpoint_counts[endpoint] = (
+                self._endpoint_counts.get(endpoint, 0) + 1)
+
+    def _parse_archs(self, payload: dict, field: str = "archs") -> np.ndarray:
+        archs = payload.get(field)
+        if not isinstance(archs, list) or not archs:
+            raise ValueError(f"body needs a non-empty {field!r} list")
+        try:
+            ops = np.asarray(archs, dtype=np.int64)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{field!r} must be a list of equal-length integer lists"
+            ) from None
+        if ops.ndim == 1:
+            ops = ops[None, :]
+        return self.space.as_index_matrix(ops)
+
+    def _require_archive(self) -> ArchitectureArchive:
+        if self.archive is None:
+            raise ValueError(
+                "this server has no archive loaded; restart with --archive")
+        return self.archive
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def predict(self, payload: dict) -> dict:
+        self._count("predict")
+        ops = self._parse_archs(payload)
+        predictions = self.batcher.predict(ops)
+        return {
+            "metric": self.metric_name,
+            "device": self.device_name,
+            "count": len(ops),
+            "predictions": predictions.tolist(),
+        }
+
+    def query(self, payload: dict) -> dict:
+        self._count("query")
+        archive = self._require_archive()
+        index = archive.index()
+        device = payload.get("device") or self.device_name or None
+        rows = queries.top_k(
+            index,
+            int(payload.get("k", 10)),
+            objective=payload.get("objective", "score"),
+            device=device,
+            budgets=payload.get("budgets") or {},
+        )
+        return {"count": len(rows),
+                "results": queries.describe_rows(index, rows, device)}
+
+    def pareto(self, payload: dict) -> dict:
+        self._count("pareto")
+        archive = self._require_archive()
+        index = archive.index()
+        device = payload.get("device") or self.device_name
+        if not device:
+            raise ValueError("pareto needs a device (body or --device)")
+        rows = queries.pareto_rows(
+            index, device=device,
+            cost_metric=payload.get("cost_metric", "latency_ms"),
+            quality=payload.get("quality", "score"))
+        return {"count": len(rows), "device": device,
+                "results": queries.describe_rows(index, rows, device)}
+
+    def nearest(self, payload: dict) -> dict:
+        self._count("nearest")
+        archive = self._require_archive()
+        index = archive.index()
+        arch = payload.get("arch")
+        if not isinstance(arch, list):
+            raise ValueError("body needs an 'arch' list of operator indices")
+        rows, distances = queries.hamming_neighbors(
+            index, arch, int(payload.get("k", 5)))
+        results = queries.describe_rows(index, rows)
+        for entry, distance in zip(results, distances.tolist()):
+            entry["hamming_layers"] = distance
+        return {"count": len(rows), "results": results}
+
+    def stats(self) -> dict:
+        self._count("stats")
+        payload = {
+            "uptime_s": round(time.time() - self.started, 3),
+            "metric": self.metric_name,
+            "device": self.device_name,
+            **self.batcher.stats(),
+        }
+        with self._count_lock:
+            payload["endpoints"] = dict(self._endpoint_counts)
+        payload["archive"] = (self.archive.stats()
+                              if self.archive is not None else None)
+        return payload
+
+    def close(self) -> None:
+        self.batcher.close()
+        if self.archive is not None:
+            self.archive.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default: the CLI prints one line per server, not per request
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> ArchiveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON ({exc})")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif self.path == "/health":
+            self._send_json(200, {"ok": True})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        routes = {
+            "/predict": self.service.predict,
+            "/query": self.service.query,
+            "/pareto": self.service.pareto,
+            "/nearest": self.service.nearest,
+        }
+        if self.path == "/shutdown":
+            self._send_json(200, {"ok": True, "shutting_down": True})
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+            return
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            self._send_json(200, handler(payload))
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except TimeoutError as exc:
+            self._send_json(503, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+
+def make_server(service: ArchiveService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for a service (port 0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

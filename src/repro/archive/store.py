@@ -1,0 +1,595 @@
+"""Append-only, crash-safe on-disk archive of evaluated architectures.
+
+Every search engine in this repository evaluates thousands-to-millions of
+architectures per run and then discards them.  The archive is the
+NAS-bench-style persistent record that fixes that: one
+:class:`ArchitectureArchive` file accumulates every architecture the system
+has ever evaluated — deduplicated across generations, engines, and runs —
+together with per-device cost records (*One Proxy Device Is Enough*
+motivates keeping costs per device so one store serves many deployment
+targets) and provenance (engine, seed, config fingerprint, reusing
+:func:`repro.runtime.checkpoint.fingerprint_of`).
+
+Design rules, mirroring :mod:`repro.runtime.checkpoint`:
+
+* **Append-only JSON lines** — one record per line, each protected by a
+  CRC-32 prefix and flushed on write, so a crashed run leaves a readable
+  archive up to the crash.
+* **Loud failures** — a truncated or corrupt line raises
+  :class:`ArchiveError` with a remedy (:func:`repair_archive` truncates a
+  damaged tail), never silently drops data.
+* **Content addressing** — records are keyed by the SHA-1 of the
+  architecture's one-hot encoding (the ᾱ matrix of Eq. 4), so the same
+  genotype written by different engines/runs merges into one record.
+* **In-memory numpy index** — :meth:`ArchitectureArchive.index` rebuilds a
+  stacked ``(N, L)`` op-index matrix plus an ``(N, D, M)`` per-device cost
+  matrix on open; the query engine (:mod:`repro.archive.query`) operates on
+  those arrays with no Python-loop-per-record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from hashlib import sha1
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARCHIVE_VERSION",
+    "ARCHIVE_MAGIC",
+    "DEVICE_COST_METRICS",
+    "ArchiveError",
+    "ArchRecord",
+    "ArchiveIndex",
+    "ArchitectureArchive",
+    "arch_key",
+    "repair_archive",
+]
+
+ARCHIVE_VERSION = 1
+ARCHIVE_MAGIC = "repro-archive"
+
+#: per-device cost fields stacked into the numpy index, in column order
+DEVICE_COST_METRICS = ("latency_ms", "energy_mj",
+                       "measured_latency_ms", "measured_energy_mj")
+
+#: architecture-global fields stacked into the numpy index
+GLOBAL_METRICS = ("macs_m", "params_m", "score")
+
+
+class ArchiveError(RuntimeError):
+    """An archive could not be written, read, or matched to this space."""
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+
+def arch_key(op_indices: Sequence[int], num_operators: int) -> str:
+    """Content address of an architecture: SHA-1 of its one-hot encoding.
+
+    The hash covers the full ``(L, K)`` ᾱ matrix bytes (not just the op
+    indices), so the address is exactly "the one-hot encoding's hash" and
+    two spaces with different operator vocabularies never share keys.
+    """
+    ops = np.asarray(op_indices, dtype=np.int64)
+    if ops.ndim != 1 or ops.size == 0:
+        raise ValueError("op_indices must be a non-empty 1-D sequence")
+    if ops.min() < 0 or ops.max() >= num_operators:
+        raise ValueError("operator index out of range for this space")
+    one_hot = np.zeros((ops.size, num_operators), dtype=np.uint8)
+    one_hot[np.arange(ops.size), ops] = 1
+    return sha1(one_hot.tobytes()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+@dataclass
+class ArchRecord:
+    """One archived architecture with everything known about it.
+
+    Attributes
+    ----------
+    op_indices:
+        The genotype (one operator index per searchable layer).
+    key:
+        Content address (:func:`arch_key`).
+    devices:
+        ``{device_name: {metric: value}}`` — per-device predicted/true and
+        measured latency/energy (see :data:`DEVICE_COST_METRICS`).
+    macs_m / params_m:
+        Device-independent compute/size costs (millions).
+    score:
+        Accuracy-proxy score (oracle top-1), when evaluated.
+    extras:
+        Model-fingerprint-tagged cached values (e.g. MLP-predicted metrics
+        keyed ``"pred:<fingerprint>"``) — the :class:`~repro.archive.cache.
+        EvalCache` namespace.  Predictions depend on the predictor weights,
+        so they are never merged across fingerprints.
+    provenance:
+        ``{"engine", "seed", "fingerprint"}`` of the run that wrote the
+        record (last writer wins on merge).
+    """
+
+    op_indices: Tuple[int, ...]
+    key: str
+    devices: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    macs_m: Optional[float] = None
+    params_m: Optional[float] = None
+    score: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "ArchRecord") -> None:
+        """Fold a later record for the same genotype into this one."""
+        if other.key != self.key:
+            raise ValueError("cannot merge records of different architectures")
+        for device, metrics in other.devices.items():
+            self.devices.setdefault(device, {}).update(metrics)
+        if other.macs_m is not None:
+            self.macs_m = other.macs_m
+        if other.params_m is not None:
+            self.params_m = other.params_m
+        if other.score is not None:
+            self.score = other.score
+        self.extras.update(other.extras)
+        if other.provenance:
+            self.provenance = dict(other.provenance)
+
+    def to_payload(self) -> dict:
+        payload: Dict[str, object] = {"key": self.key,
+                                      "ops": list(self.op_indices)}
+        if self.devices:
+            payload["devices"] = self.devices
+        if self.macs_m is not None:
+            payload["macs_m"] = self.macs_m
+        if self.params_m is not None:
+            payload["params_m"] = self.params_m
+        if self.score is not None:
+            payload["score"] = self.score
+        if self.extras:
+            payload["extras"] = self.extras
+        if self.provenance:
+            payload["provenance"] = self.provenance
+        return payload
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ArchRecord":
+        return ArchRecord(
+            op_indices=tuple(int(i) for i in payload["ops"]),
+            key=str(payload["key"]),
+            devices={str(d): {str(m): float(v) for m, v in metrics.items()}
+                     for d, metrics in payload.get("devices", {}).items()},
+            macs_m=payload.get("macs_m"),
+            params_m=payload.get("params_m"),
+            score=payload.get("score"),
+            extras={str(k): float(v)
+                    for k, v in payload.get("extras", {}).items()},
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# In-memory numpy index
+# ----------------------------------------------------------------------
+
+@dataclass
+class ArchiveIndex:
+    """Stacked numpy view of the archive, rebuilt on open.
+
+    The query engine operates entirely on these arrays: ``ops`` for Hamming
+    nearest-neighbour search, ``cost``/``score``/``macs_m``/``params_m``
+    for budgeted top-k and Pareto queries.  Missing values are NaN.
+    """
+
+    ops: np.ndarray                 #: ``(N, L)`` int64 genotypes
+    keys: Tuple[str, ...]           #: content addresses, aligned with rows
+    score: np.ndarray               #: ``(N,)`` accuracy-proxy score
+    macs_m: np.ndarray              #: ``(N,)`` multi-adds, millions
+    params_m: np.ndarray            #: ``(N,)`` parameters, millions
+    devices: Tuple[str, ...]        #: device names, aligned with axis 1
+    cost: np.ndarray                #: ``(N, D, M)`` per-device cost matrix
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def device_column(self, device: str, metric: str) -> np.ndarray:
+        """The ``(N,)`` column of one per-device cost metric."""
+        if metric not in DEVICE_COST_METRICS:
+            raise ValueError(
+                f"unknown device metric {metric!r}; expected one of "
+                f"{DEVICE_COST_METRICS}")
+        try:
+            d = self.devices.index(device)
+        except ValueError:
+            raise ValueError(
+                f"device {device!r} has no records in this archive; "
+                f"known devices: {self.devices or '(none)'}") from None
+        return self.cost[:, d, DEVICE_COST_METRICS.index(metric)]
+
+    def column(self, metric: str, device: Optional[str] = None) -> np.ndarray:
+        """A ``(N,)`` metric column, resolving per-device metrics."""
+        if metric in GLOBAL_METRICS:
+            return getattr(self, metric)
+        if device is None:
+            raise ValueError(
+                f"metric {metric!r} is per-device; pass device=...")
+        return self.device_column(device, metric)
+
+    @staticmethod
+    def from_records(records: Sequence[ArchRecord],
+                     num_layers: int) -> "ArchiveIndex":
+        n = len(records)
+        ops = np.zeros((n, num_layers), dtype=np.int64)
+        score = np.full(n, np.nan)
+        macs = np.full(n, np.nan)
+        params = np.full(n, np.nan)
+        device_names = sorted({d for r in records for d in r.devices})
+        cost = np.full((n, len(device_names), len(DEVICE_COST_METRICS)),
+                       np.nan)
+        device_pos = {name: i for i, name in enumerate(device_names)}
+        metric_pos = {name: i for i, name in enumerate(DEVICE_COST_METRICS)}
+        for i, record in enumerate(records):
+            ops[i] = record.op_indices
+            if record.score is not None:
+                score[i] = record.score
+            if record.macs_m is not None:
+                macs[i] = record.macs_m
+            if record.params_m is not None:
+                params[i] = record.params_m
+            for device, metrics in record.devices.items():
+                for metric, value in metrics.items():
+                    column = metric_pos.get(metric)
+                    if column is not None:
+                        cost[i, device_pos[device], column] = value
+        return ArchiveIndex(ops=ops, keys=tuple(r.key for r in records),
+                            score=score, macs_m=macs, params_m=params,
+                            devices=tuple(device_names), cost=cost)
+
+
+# ----------------------------------------------------------------------
+# Line framing
+# ----------------------------------------------------------------------
+
+def _frame(payload: str) -> str:
+    return f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}\n"
+
+
+def _unframe(line: str, path: str, lineno: int) -> dict:
+    crc, sep, payload = line.partition(" ")
+    if not sep or len(crc) != 8:
+        raise ArchiveError(
+            f"{path}:{lineno}: malformed archive line (no CRC frame) — the "
+            f"file is corrupt or truncated; run repair_archive({path!r}) to "
+            f"truncate the damaged tail, or delete the file")
+    try:
+        expected = int(crc, 16)
+    except ValueError:
+        raise ArchiveError(
+            f"{path}:{lineno}: malformed CRC prefix {crc!r} — the file is "
+            f"corrupt; run repair_archive({path!r}) to truncate the damaged "
+            f"tail, or delete the file") from None
+    if zlib.crc32(payload.encode("utf-8")) != expected:
+        raise ArchiveError(
+            f"{path}:{lineno}: CRC mismatch — the line is corrupt or "
+            f"truncated; run repair_archive({path!r}) to truncate the "
+            f"damaged tail, or delete the file")
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(
+            f"{path}:{lineno}: CRC-valid but unparsable JSON ({exc}); the "
+            f"file was written by an incompatible version — delete it"
+        ) from exc
+
+
+def _read_lines(path: str) -> List[str]:
+    """Raw archive lines; a final unterminated line raises (crash tail)."""
+    with open(path, "r", encoding="utf-8", newline="\n") as handle:
+        raw = handle.read()
+    if not raw:
+        raise ArchiveError(
+            f"archive {path!r} is empty — it was created but never wrote a "
+            f"header; delete the file")
+    lines = raw.split("\n")
+    if lines[-1] != "":
+        raise ArchiveError(
+            f"{path}:{len(lines)}: final line has no newline — a writer "
+            f"crashed mid-append; run repair_archive({path!r}) to truncate "
+            f"the damaged tail, or delete the file")
+    return lines[:-1]
+
+
+def repair_archive(path: str) -> int:
+    """Truncate a crash-damaged archive to its longest valid prefix.
+
+    Returns the number of lines dropped.  Raises :class:`ArchiveError` if
+    even the header line is unreadable (nothing to salvage).
+    """
+    with open(path, "r", encoding="utf-8", newline="\n") as handle:
+        raw = handle.read()
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    valid: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            _unframe(line, path, lineno)
+        except ArchiveError:
+            break
+        valid.append(line)
+    if not valid:
+        raise ArchiveError(
+            f"archive {path!r} has an unreadable header — nothing to "
+            f"salvage; delete the file")
+    dropped = len(lines) - len(valid)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".archive.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write("\n".join(valid) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return dropped
+
+
+# ----------------------------------------------------------------------
+# The archive
+# ----------------------------------------------------------------------
+
+class ArchitectureArchive:
+    """Open (or create) an on-disk architecture archive.
+
+    Parameters
+    ----------
+    path:
+        Archive file (created with a header if missing).
+    num_layers / num_operators:
+        Space geometry.  Required when creating a new archive; when opening
+        an existing one they are validated against the header (a mismatch
+        raises :class:`ArchiveError` — records from another space would be
+        silently meaningless).  Pass ``space=`` as a convenience instead.
+    """
+
+    def __init__(self, path: str,
+                 num_layers: Optional[int] = None,
+                 num_operators: Optional[int] = None,
+                 space=None) -> None:
+        if space is not None:
+            num_layers = space.num_layers
+            num_operators = space.num_operators
+        self.path = path
+        self._records: Dict[str, ArchRecord] = {}   # key → merged record
+        self._order: List[str] = []                 # first-seen order
+        self._index: Optional[ArchiveIndex] = None
+        if os.path.exists(path):
+            self._replay(num_layers, num_operators)
+        else:
+            if num_layers is None or num_operators is None:
+                raise ArchiveError(
+                    f"creating archive {path!r} requires the space geometry "
+                    f"(num_layers and num_operators, or space=...)")
+            self.num_layers = int(num_layers)
+            self.num_operators = int(num_operators)
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            header = {"magic": ARCHIVE_MAGIC, "version": ARCHIVE_VERSION,
+                      "num_layers": self.num_layers,
+                      "num_operators": self.num_operators}
+            with open(path, "w", encoding="utf-8", newline="\n") as handle:
+                handle.write(_frame(json.dumps(header)))
+        self._handle = open(path, "a", encoding="utf-8", newline="\n")
+
+    # ------------------------------------------------------------------
+    def _replay(self, num_layers: Optional[int],
+                num_operators: Optional[int]) -> None:
+        lines = _read_lines(self.path)
+        header = _unframe(lines[0], self.path, 1)
+        if header.get("magic") != ARCHIVE_MAGIC:
+            raise ArchiveError(
+                f"{self.path!r} is not an architecture archive (bad magic "
+                f"{header.get('magic')!r})")
+        if header.get("version") != ARCHIVE_VERSION:
+            raise ArchiveError(
+                f"archive {self.path!r} has format version "
+                f"{header.get('version')!r}, expected {ARCHIVE_VERSION} — "
+                f"it was written by an incompatible version of this library")
+        self.num_layers = int(header["num_layers"])
+        self.num_operators = int(header["num_operators"])
+        if num_layers is not None and (
+                (num_layers, num_operators)
+                != (self.num_layers, self.num_operators)):
+            raise ArchiveError(
+                f"archive {self.path!r} holds a {self.num_layers}-layer / "
+                f"{self.num_operators}-operator space, but this run uses "
+                f"{num_layers} layers / {num_operators} operators — use a "
+                f"separate archive per space geometry")
+        for lineno, line in enumerate(lines[1:], start=2):
+            payload = _unframe(line, self.path, lineno)
+            try:
+                record = ArchRecord.from_payload(payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ArchiveError(
+                    f"{self.path}:{lineno}: CRC-valid but malformed record "
+                    f"({exc}) — the file was written by an incompatible "
+                    f"version; delete it") from exc
+            if len(record.op_indices) != self.num_layers:
+                raise ArchiveError(
+                    f"{self.path}:{lineno}: record has "
+                    f"{len(record.op_indices)} layers, header says "
+                    f"{self.num_layers} — the file is inconsistent")
+            self._merge(record)
+
+    def _merge(self, record: ArchRecord) -> None:
+        existing = self._records.get(record.key)
+        if existing is None:
+            self._records[record.key] = record
+            self._order.append(record.key)
+        else:
+            existing.merge(record)
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def add_record(self, record: ArchRecord, flush: bool = True) -> None:
+        """Append one record (merged into the in-memory view)."""
+        if len(record.op_indices) != self.num_layers:
+            raise ValueError(
+                f"record has {len(record.op_indices)} layers, archive "
+                f"expects {self.num_layers}")
+        if record.key != arch_key(record.op_indices, self.num_operators):
+            raise ValueError("record key does not match its op_indices")
+        self._handle.write(_frame(json.dumps(record.to_payload())))
+        if flush:
+            self._handle.flush()
+        self._merge(record)
+
+    def add(self, op_indices: Sequence[int], *,
+            device: Optional[str] = None,
+            latency_ms: Optional[float] = None,
+            energy_mj: Optional[float] = None,
+            measured_latency_ms: Optional[float] = None,
+            measured_energy_mj: Optional[float] = None,
+            macs_m: Optional[float] = None,
+            params_m: Optional[float] = None,
+            score: Optional[float] = None,
+            extras: Optional[Dict[str, float]] = None,
+            engine: str = "", seed: Optional[int] = None,
+            config_fingerprint: str = "",
+            flush: bool = True) -> ArchRecord:
+        """Record one evaluated architecture (convenience over add_record)."""
+        ops = tuple(int(i) for i in op_indices)
+        metrics = {name: float(value) for name, value in (
+            ("latency_ms", latency_ms), ("energy_mj", energy_mj),
+            ("measured_latency_ms", measured_latency_ms),
+            ("measured_energy_mj", measured_energy_mj),
+        ) if value is not None}
+        if metrics and device is None:
+            raise ValueError("per-device metrics require device=...")
+        provenance: Dict[str, object] = {}
+        if engine:
+            provenance["engine"] = engine
+        if seed is not None:
+            provenance["seed"] = int(seed)
+        if config_fingerprint:
+            provenance["fingerprint"] = config_fingerprint
+        record = ArchRecord(
+            op_indices=ops,
+            key=arch_key(ops, self.num_operators),
+            devices={device: metrics} if metrics else {},
+            macs_m=None if macs_m is None else float(macs_m),
+            params_m=None if params_m is None else float(params_m),
+            score=None if score is None else float(score),
+            extras={k: float(v) for k, v in (extras or {}).items()},
+            provenance=provenance,
+        )
+        self.add_record(record, flush=flush)
+        return record
+
+    def add_population(self, ops: np.ndarray, *,
+                       device: Optional[str] = None,
+                       latency_ms: Optional[np.ndarray] = None,
+                       energy_mj: Optional[np.ndarray] = None,
+                       measured_latency_ms: Optional[np.ndarray] = None,
+                       measured_energy_mj: Optional[np.ndarray] = None,
+                       macs_m: Optional[np.ndarray] = None,
+                       params_m: Optional[np.ndarray] = None,
+                       score: Optional[np.ndarray] = None,
+                       engine: str = "", seed: Optional[int] = None,
+                       config_fingerprint: str = "") -> int:
+        """Record a whole population with aligned per-arch metric arrays.
+
+        Serialisation is necessarily per-record, but the file is flushed
+        once for the whole batch; returns the number of records written.
+        """
+        ops = np.asarray(ops, dtype=np.int64)
+        if ops.ndim != 2 or ops.shape[1] != self.num_layers:
+            raise ValueError(
+                f"ops must be (N, {self.num_layers}), got {ops.shape}")
+
+        def cell(array, i):
+            return None if array is None else float(array[i])
+
+        for i, row in enumerate(ops.tolist()):
+            self.add(row, device=device,
+                     latency_ms=cell(latency_ms, i),
+                     energy_mj=cell(energy_mj, i),
+                     measured_latency_ms=cell(measured_latency_ms, i),
+                     measured_energy_mj=cell(measured_energy_mj, i),
+                     macs_m=cell(macs_m, i), params_m=cell(params_m, i),
+                     score=cell(score, i),
+                     engine=engine, seed=seed,
+                     config_fingerprint=config_fingerprint, flush=False)
+        self._handle.flush()
+        return len(ops)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, op_indices) -> bool:
+        return arch_key(tuple(op_indices), self.num_operators) in self._records
+
+    def get(self, op_indices) -> Optional[ArchRecord]:
+        """The merged record for a genotype, or ``None``."""
+        return self._records.get(
+            arch_key(tuple(op_indices), self.num_operators))
+
+    def records(self) -> Iterator[ArchRecord]:
+        """Merged records in first-seen order."""
+        for key in self._order:
+            yield self._records[key]
+
+    def index(self) -> ArchiveIndex:
+        """The stacked numpy index (cached until the next append)."""
+        if self._index is None:
+            self._index = ArchiveIndex.from_records(
+                [self._records[key] for key in self._order], self.num_layers)
+        return self._index
+
+    def stats(self) -> dict:
+        """Summary counters for the ``/stats`` endpoint and ``repro query``."""
+        index = self.index()
+        per_device = {
+            device: int(np.isfinite(
+                index.cost[:, d, :]).any(axis=1).sum())
+            for d, device in enumerate(index.devices)
+        }
+        return {
+            "path": self.path,
+            "records": len(self),
+            "num_layers": self.num_layers,
+            "num_operators": self.num_operators,
+            "devices": per_device,
+            "with_score": int(np.isfinite(index.score).sum()),
+            "with_macs": int(np.isfinite(index.macs_m).sum()),
+        }
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ArchitectureArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

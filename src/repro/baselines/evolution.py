@@ -26,6 +26,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..archive.cache import EvalCache
 from ..core.result import SearchResult, SearchTrajectory
 from ..predictor.mlp import MLPPredictor
 from ..proxy.accuracy_model import AccuracyOracle
@@ -74,18 +75,35 @@ class EvolutionSearch:
         config: EvolutionConfig,
         predictor: MLPPredictor,
         oracle: Optional[AccuracyOracle] = None,
+        cache: Optional[EvalCache] = None,
     ) -> None:
         self.config = config
         self.space = config.space
         self.predictor = predictor
         self.oracle = oracle or AccuracyOracle(self.space)
         self.rng = np.random.default_rng(config.seed)
+        if cache is not None and cache.predictor is not predictor:
+            raise ValueError(
+                "the EvalCache must wrap this engine's predictor")
+        self.cache = cache
 
     # ------------------------------------------------------------------
+    def _predict_arch(self, arch: Architecture) -> float:
+        if self.cache is not None:
+            return self.cache.predict_arch(arch)
+        return self.predictor.predict_arch(arch)
+
+    def _predict_population(self, ops: np.ndarray) -> np.ndarray:
+        if self.cache is not None:
+            return self.cache.predict_population(ops)
+        return self.predictor.predict_population(ops)
+
     def _feasible(self, arch: Architecture) -> bool:
-        return self.predictor.predict_arch(arch) <= self.config.target
+        return self._predict_arch(arch) <= self.config.target
 
     def _fitness(self, arch: Architecture) -> float:
+        if self.cache is not None and self.cache.oracle is self.oracle:
+            return self.cache.fitness(arch)
         return self.oracle.evaluate(arch).top1
 
     def _random_feasible(self) -> Architecture:
@@ -117,7 +135,7 @@ class EvolutionSearch:
         while len(feasible) < count and drawn < budget:
             ops = self.space.sample_indices(batch, self.rng)
             drawn += batch
-            preds = self.predictor.predict_population(ops)
+            preds = self._predict_population(ops)
             for row in ops[preds <= self.config.target].tolist():
                 feasible.append(Architecture(tuple(row)))
                 if len(feasible) == count:
@@ -141,7 +159,7 @@ class EvolutionSearch:
             candidates[np.arange(batch), layers] = (
                 (candidates[np.arange(batch), layers] + shifts) % num_ops
             )
-            preds = self.predictor.predict_population(candidates)
+            preds = self._predict_population(candidates)
             hits = np.nonzero(preds <= self.config.target)[0]
             if hits.size:
                 return Architecture(tuple(candidates[hits[0]].tolist()))
@@ -246,7 +264,7 @@ class EvolutionSearch:
             if fit > best_fit:
                 best_arch, best_fit = child, fit
             if cycle % 25 == 0:
-                predicted_best = self.predictor.predict_arch(best_arch)
+                predicted_best = self._predict_arch(best_arch)
                 trajectory.record(cycle, predicted_best,
                                   0.0, -best_fit, 0.0, best_arch)
                 journal.epoch(epoch=cycle,
@@ -265,15 +283,19 @@ class EvolutionSearch:
 
         journal.run_end(
             final_predicted_metric=round(
-                float(self.predictor.predict_arch(best_arch)), 6),
+                float(self._predict_arch(best_arch)), 6),
             best_top1=round(best_fit, 4),
             architecture=list(best_arch.op_indices),
             num_search_steps=evaluations,
             wall_time_s=round(time.perf_counter() - run_start, 6),
+            **(self.cache.counters() if self.cache is not None else {}),
         )
+        if self.cache is not None:
+            self.cache.flush(engine=self.name, seed=cfg.seed,
+                             config_fingerprint=self._fingerprint())
         return SearchResult(
             architecture=best_arch,
-            predicted_metric=self.predictor.predict_arch(best_arch),
+            predicted_metric=self._predict_arch(best_arch),
             target=cfg.target,
             final_lambda=0.0,
             trajectory=trajectory,

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..archive.cache import EvalCache
 from ..core.result import SearchResult, SearchTrajectory
 from ..predictor.mlp import MLPPredictor
 from ..proxy.accuracy_model import AccuracyOracle
@@ -37,12 +38,28 @@ class RandomSearch:
     name = "random"
 
     def __init__(self, config: RandomSearchConfig, predictor: MLPPredictor,
-                 oracle: Optional[AccuracyOracle] = None) -> None:
+                 oracle: Optional[AccuracyOracle] = None,
+                 cache: Optional[EvalCache] = None) -> None:
         self.config = config
         self.space = config.space
         self.predictor = predictor
         self.oracle = oracle or AccuracyOracle(self.space)
         self.rng = np.random.default_rng(config.seed)
+        if cache is not None and cache.predictor is not predictor:
+            raise ValueError(
+                "the EvalCache must wrap this engine's predictor")
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def _predict_arch(self, arch: Architecture) -> float:
+        if self.cache is not None:
+            return self.cache.predict_arch(arch)
+        return self.predictor.predict_arch(arch)
+
+    def _quick_top1(self, arch: Architecture) -> float:
+        if self.cache is not None and self.cache.oracle is self.oracle:
+            return self.cache.fitness(arch, epochs=50)
+        return self.oracle.evaluate(arch, epochs=50).top1
 
     def search(self, verbose: bool = False, *,
                journal: Optional[RunJournal] = None) -> SearchResult:
@@ -60,10 +77,12 @@ class RandomSearch:
         # Sample and feasibility-score the whole population in one shot;
         # only the survivors pay the (per-architecture) quick evaluation.
         ops = self.space.sample_indices(cfg.num_samples, self.rng)
-        preds = self.predictor.predict_population(ops)
+        preds = (self.cache.predict_population(ops)
+                 if self.cache is not None
+                 else self.predictor.predict_population(ops))
         for i in np.nonzero(preds <= cfg.target)[0]:
             arch = Architecture(tuple(ops[i].tolist()))
-            top1 = self.oracle.evaluate(arch, epochs=50).top1
+            top1 = self._quick_top1(arch)
             if top1 > best_top1:
                 best, best_top1 = arch, top1
                 trajectory.record(int(i), float(preds[i]), 0.0, -top1, 0.0, arch)
@@ -80,15 +99,18 @@ class RandomSearch:
             )
         journal.run_end(
             final_predicted_metric=round(
-                float(self.predictor.predict_arch(best)), 6),
+                float(self._predict_arch(best)), 6),
             best_top1=round(best_top1, 4),
             architecture=list(best.op_indices),
             num_search_steps=cfg.num_samples,
             wall_time_s=round(time.perf_counter() - run_start, 6),
+            **(self.cache.counters() if self.cache is not None else {}),
         )
+        if self.cache is not None:
+            self.cache.flush(engine=self.name, seed=cfg.seed)
         return SearchResult(
             architecture=best,
-            predicted_metric=self.predictor.predict_arch(best),
+            predicted_metric=self._predict_arch(best),
             target=cfg.target,
             final_lambda=0.0,
             trajectory=trajectory,

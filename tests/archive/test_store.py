@@ -1,0 +1,234 @@
+"""Tests of the on-disk archive: round-trip, crash tails, content merge."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.store import (
+    ArchitectureArchive,
+    ArchiveError,
+    arch_key,
+    repair_archive,
+)
+
+L, K = 4, 7  # tiny-space geometry used throughout
+
+
+def make_archive(tmp_path, name="arc.jsonl"):
+    return ArchitectureArchive(str(tmp_path / name), num_layers=L,
+                               num_operators=K)
+
+
+class TestContentAddressing:
+    def test_key_is_stable_and_distinct(self):
+        a = arch_key((1, 2, 3, 0), K)
+        assert a == arch_key((1, 2, 3, 0), K)
+        assert a != arch_key((1, 2, 3, 1), K)
+        # the address hashes the one-hot matrix, so K is part of the identity
+        assert a != arch_key((1, 2, 3, 0), K + 1)
+
+    def test_key_validates_range(self):
+        with pytest.raises(ValueError):
+            arch_key((0, 1, K, 2), K)
+        with pytest.raises(ValueError):
+            arch_key((-1, 0, 0, 0), K)
+        with pytest.raises(ValueError):
+            arch_key((), K)
+
+    def test_same_genotype_merges_into_one_record(self, tmp_path):
+        arc = make_archive(tmp_path)
+        arc.add((1, 2, 3, 0), device="dev-a", latency_ms=5.0, engine="one")
+        arc.add((1, 2, 3, 0), device="dev-b", latency_ms=9.0,
+                score=71.5, engine="two")
+        assert len(arc) == 1
+        record = arc.get((1, 2, 3, 0))
+        assert record.devices == {"dev-a": {"latency_ms": 5.0},
+                                  "dev-b": {"latency_ms": 9.0}}
+        assert record.score == 71.5
+        assert record.provenance["engine"] == "two"  # last writer wins
+        arc.close()
+
+    def test_merge_survives_reopen(self, tmp_path):
+        arc = make_archive(tmp_path)
+        arc.add((1, 2, 3, 0), device="dev-a", latency_ms=5.0)
+        arc.add((1, 2, 3, 0), device="dev-a", energy_mj=80.0)
+        arc.close()
+        reopened = make_archive(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get((1, 2, 3, 0)).devices["dev-a"] == {
+            "latency_ms": 5.0, "energy_mj": 80.0}
+        reopened.close()
+
+
+@st.composite
+def populations(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    rows = draw(st.lists(
+        st.tuples(*[st.integers(min_value=0, max_value=K - 1)
+                    for _ in range(L)]),
+        min_size=n, max_size=n))
+    values = draw(st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=n, max_size=n))
+    return rows, values
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(populations())
+    def test_write_reopen_identical_index(self, tmp_path_factory, pop):
+        rows, values = pop
+        path = str(tmp_path_factory.mktemp("hyp") / "arc.jsonl")
+        arc = ArchitectureArchive(path, num_layers=L, num_operators=K)
+        for row, value in zip(rows, values):
+            arc.add(row, device="dev", latency_ms=value, macs_m=value / 2,
+                    score=value / 3, engine="hyp", seed=1)
+        index = arc.index()
+        arc.close()
+        reopened = ArchitectureArchive(path, num_layers=L, num_operators=K)
+        reloaded = reopened.index()
+        # dedup happens on write AND on replay, so the index matches exactly
+        np.testing.assert_array_equal(index.ops, reloaded.ops)
+        assert index.keys == reloaded.keys
+        np.testing.assert_array_equal(index.score, reloaded.score)
+        np.testing.assert_array_equal(index.macs_m, reloaded.macs_m)
+        assert index.devices == reloaded.devices
+        np.testing.assert_array_equal(index.cost, reloaded.cost)
+        reopened.close()
+
+    def test_float_values_round_trip_bit_for_bit(self, tmp_path):
+        # JSON floats round-trip exactly in Python (repr shortest-form);
+        # the warm-start determinism guarantee rests on this
+        value = float(np.float64(1.0) / 3.0) * 17.123456789
+        arc = make_archive(tmp_path)
+        arc.add((0, 1, 2, 3), device="dev", latency_ms=value,
+                extras={"pred:abc": value})
+        arc.close()
+        reopened = make_archive(tmp_path)
+        record = reopened.get((0, 1, 2, 3))
+        assert record.devices["dev"]["latency_ms"] == value
+        assert record.extras["pred:abc"] == value
+        reopened.close()
+
+
+class TestLoudFailures:
+    def fill(self, tmp_path):
+        arc = make_archive(tmp_path)
+        for i in range(5):
+            arc.add((i % K, 0, 1, 2), device="dev", latency_ms=float(i))
+        arc.close()
+        return str(tmp_path / "arc.jsonl")
+
+    def test_truncated_tail_raises(self, tmp_path):
+        path = self.fill(tmp_path)
+        with open(path, "r+", encoding="utf-8") as handle:
+            raw = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(raw[:-10])  # cut mid-record, no trailing newline
+        with pytest.raises(ArchiveError, match="repair_archive"):
+            ArchitectureArchive(path, num_layers=L, num_operators=K)
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = self.fill(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[3] = lines[3][:12] + "XX" + lines[3][14:]  # flip payload bytes
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ArchiveError, match="CRC"):
+            ArchitectureArchive(path, num_layers=L, num_operators=K)
+
+    def test_repair_truncates_to_longest_valid_prefix(self, tmp_path):
+        path = self.fill(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("deadbeef {broken")  # crashed writer's tail
+        with pytest.raises(ArchiveError):
+            ArchitectureArchive(path, num_layers=L, num_operators=K)
+        dropped = repair_archive(path)
+        assert dropped == 1
+        recovered = ArchitectureArchive(path, num_layers=L, num_operators=K)
+        assert len(recovered) == 5
+        recovered.close()
+
+    def test_repair_with_unreadable_header_raises(self, tmp_path):
+        path = str(tmp_path / "junk.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not an archive at all\n")
+        with pytest.raises(ArchiveError, match="nothing to salvage"):
+            repair_archive(path)
+
+    def test_geometry_mismatch_raises(self, tmp_path):
+        path = self.fill(tmp_path)
+        with pytest.raises(ArchiveError, match="separate archive"):
+            ArchitectureArchive(path, num_layers=L + 1, num_operators=K)
+
+    def test_new_archive_requires_geometry(self, tmp_path):
+        with pytest.raises(ArchiveError, match="space geometry"):
+            ArchitectureArchive(str(tmp_path / "missing.jsonl"))
+
+    def test_not_an_archive_magic(self, tmp_path):
+        path = str(tmp_path / "other.jsonl")
+        import json
+        import zlib
+        payload = json.dumps({"magic": "something-else", "version": 1})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"{zlib.crc32(payload.encode()):08x} {payload}\n")
+        with pytest.raises(ArchiveError, match="bad magic"):
+            ArchitectureArchive(path)
+
+    def test_wrong_geometry_record_rejected_on_add(self, tmp_path):
+        arc = make_archive(tmp_path)
+        with pytest.raises(ValueError):
+            arc.add((1, 2, 3), device="dev", latency_ms=1.0)
+        arc.close()
+
+
+class TestIndexAndStats:
+    def test_index_caches_until_append(self, tmp_path):
+        arc = make_archive(tmp_path)
+        arc.add((0, 0, 0, 0), macs_m=1.0)
+        first = arc.index()
+        assert arc.index() is first
+        arc.add((1, 1, 1, 1), macs_m=2.0)
+        second = arc.index()
+        assert second is not first
+        assert len(second) == 2
+        arc.close()
+
+    def test_missing_values_are_nan(self, tmp_path):
+        arc = make_archive(tmp_path)
+        arc.add((0, 0, 0, 0), device="dev", latency_ms=4.0)
+        arc.add((1, 1, 1, 1), macs_m=2.0, score=50.0)
+        index = arc.index()
+        assert np.isnan(index.score[0]) and index.score[1] == 50.0
+        assert np.isnan(index.macs_m[0]) and index.macs_m[1] == 2.0
+        column = index.device_column("dev", "latency_ms")
+        assert column[0] == 4.0 and np.isnan(column[1])
+        arc.close()
+
+    def test_stats_counts(self, tmp_path):
+        arc = make_archive(tmp_path)
+        arc.add((0, 0, 0, 0), device="a", latency_ms=1.0, score=10.0)
+        arc.add((1, 1, 1, 1), device="b", energy_mj=2.0, macs_m=3.0)
+        stats = arc.stats()
+        assert stats["records"] == 2
+        assert stats["devices"] == {"a": 1, "b": 1}
+        assert stats["with_score"] == 1
+        assert stats["with_macs"] == 1
+        arc.close()
+
+    def test_add_population_single_flush(self, tmp_path):
+        arc = make_archive(tmp_path)
+        ops = np.array([[0, 1, 2, 3], [3, 2, 1, 0], [0, 1, 2, 3]])
+        written = arc.add_population(
+            ops, device="dev", latency_ms=np.array([1.0, 2.0, 3.0]),
+            engine="pop")
+        assert written == 3
+        assert len(arc) == 2  # duplicate row merged
+        # last write wins for the duplicate genotype
+        assert arc.get((0, 1, 2, 3)).devices["dev"]["latency_ms"] == 3.0
+        arc.close()
