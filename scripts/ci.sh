@@ -13,6 +13,11 @@ python -m pytest -x -q tests/core/test_resume_parity.py \
     tests/core/test_lightnas.py::TestTrajectoryValidLoss \
     tests/runtime/
 
+# The conv fast-path contract: gradient checks for every specialized kernel
+# plus the golden-trajectory test pinning the float64 engine bit-identical.
+python -m pytest -x -q tests/nn/test_conv_fast_paths.py \
+    tests/core/test_engine_bit_parity.py
+
 # Tiny-N smoke of the hot-path benchmark: exercises the scalar/vectorized
 # parity assertions and the BENCH_perf.json writer without the full N=10k
 # timing run (speedup thresholds are only checked at full size).
@@ -22,6 +27,10 @@ python benchmarks/bench_perf_hotpaths.py --pop-n 200 --campaign-n 100 --predict-
 # rerun is bit-identical with a non-zero cache hit rate and writes
 # BENCH_archive.json.
 python benchmarks/bench_archive.py --cycles 12 --population 8 --check
+
+# nn-engine benchmark with acceptance thresholds (>= 3x depthwise fwd+bwd,
+# faster supernet epoch); BENCH_nn.json is kept as a CI artifact.
+python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 
 # End-to-end telemetry smoke: a traced tiny search whose journal is kept as
 # a CI artifact (see .github/workflows/ci.yml).

@@ -164,7 +164,7 @@ def cmd_search(args) -> int:
     space = _space(args)
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
-    overrides = {}
+    overrides = {"compute_dtype": args.dtype, "profile_ops": args.profile_ops}
     if args.epochs:
         overrides["epochs"] = args.epochs
     try:
@@ -290,7 +290,9 @@ def cmd_sweep(args) -> int:
                 # shorthand ("latency" → "latency_ms", ...), same as search.
                 config = LightNASConfig.paper(target, space=space,
                                               seed=args.seed,
-                                              metric_name=args.metric)
+                                              metric_name=args.metric,
+                                              compute_dtype=args.dtype,
+                                              profile_ops=args.profile_ops)
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}")
             checkpoint_dir = None
@@ -454,6 +456,20 @@ def cmd_trace_summary(args) -> int:
         ]
         print(render_table(["field", "value"], rows,
                            title=f"run {index + 1}/{len(runs)}"))
+        if args.ops:
+            profile = run.get("op_profile") or {}
+            if not profile:
+                print("no op profile in this run — re-run the search with "
+                      "--profile-ops", file=sys.stderr)
+                continue
+            op_rows = [
+                [kind, f"{info['total_ms']:.1f}", info["calls"],
+                 f"{info['mean_ms']:.4f}"]
+                for kind, info in profile.items()
+            ]
+            print(render_table(
+                ["op", "total ms", "calls", "mean ms"], op_rows,
+                title=f"per-op profile — run {index + 1}/{len(runs)}"))
     return 0
 
 
@@ -569,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-summary",
         help="summarise a JSON-lines run journal written with --trace")
     p_trace.add_argument("journal", help="path to the .jsonl journal")
+    p_trace.add_argument("--ops", action="store_true",
+                         help="also print the per-op wall-time profile "
+                              "(journals recorded with --profile-ops)")
     p_trace.set_defaults(func=cmd_trace_summary)
 
     return parser
@@ -586,6 +605,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default="",
                         help="write a JSON-lines run journal to this path "
                              "(read it back with: repro trace-summary)")
+    parser.add_argument("--dtype", choices=("float64", "float32"),
+                        default="float64",
+                        help="engine compute dtype; float64 (default) keeps "
+                             "seeded runs bit-identical, float32 trades "
+                             "precision for speed")
+    parser.add_argument("--profile-ops", action="store_true",
+                        help="record per-op wall time in the journal epochs "
+                             "(view with: repro trace-summary --ops)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -28,6 +28,7 @@ Two validation-loss modes share the engine:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -103,9 +104,20 @@ class LightNASConfig:
 
     seed: int = 0
 
+    #: nn compute dtype — "float64" (default) is bit-identical to the
+    #: historical engine; "float32" halves memory traffic for supernet runs
+    compute_dtype: str = "float64"
+    #: when True, per-op wall time is profiled and journalled every epoch
+    profile_ops: bool = False
+
     def __post_init__(self) -> None:
         if self.mode not in ("surrogate", "supernet"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown compute_dtype {self.compute_dtype!r}; expected "
+                "'float64' or 'float32'"
+            )
         if self.target <= 0:
             raise ValueError("constraint target must be positive")
         if self.epochs <= self.warmup_epochs and self.mode == "supernet":
@@ -202,7 +214,10 @@ class LightNAS:
                     resolution=macro.input_resolution,
                     seed=config.seed,
                 )
-            self.supernet = SuperNet(self.space, self.rng)
+            # supernet weights live in the configured compute dtype;
+            # float64 (default) keeps seeded searches bit-identical
+            with nn.dtype_scope(config.compute_dtype):
+                self.supernet = SuperNet(self.space, self.rng)
 
     def _default_predictor(self) -> MLPPredictor:
         latency_model = LatencyModel(self.space)
@@ -217,7 +232,7 @@ class LightNAS:
     def _fingerprint(self) -> str:
         """Hash of everything that determines the search dynamics."""
         cfg = self.config
-        return fingerprint_of(
+        parts = [
             "lightnas", cfg.mode, cfg.target, cfg.metric_name, cfg.epochs,
             cfg.steps_per_epoch, cfg.warmup_epochs, cfg.batch_size,
             cfg.alpha_lr, cfg.alpha_weight_decay, cfg.w_lr, cfg.w_momentum,
@@ -225,7 +240,12 @@ class LightNAS:
             cfg.penalty_mu, cfg.tau_initial, cfg.tau_floor, cfg.seed,
             self.space.num_layers, self.space.num_operators,
             repr(self.space.macro),
-        )
+        ]
+        # appended only when non-default so historical float64 checkpoints
+        # keep their fingerprints
+        if cfg.compute_dtype != "float64":
+            parts.append(cfg.compute_dtype)
+        return fingerprint_of(*parts)
 
     def _capture_state(self, epoch: int, steps: int, alpha: nn.Parameter,
                        alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
@@ -375,30 +395,34 @@ class LightNAS:
         for epoch in range(start_epoch, cfg.epochs):
             epoch_start = time.perf_counter()
             alpha_schedule.apply(alpha_opt, epoch)
-            if cfg.mode == "supernet":
-                w_schedule.apply(w_opt, epoch)
-                with timers.phase("train_weights"):
-                    self._train_weights_epoch(sampler, alpha, w_opt, epoch)
-                if epoch >= cfg.warmup_epochs:
+            epoch_scope = (nn.profiler.profile() if cfg.profile_ops
+                           else nullcontext(None))
+            with epoch_scope as op_prof:
+                if cfg.mode == "supernet":
+                    w_schedule.apply(w_opt, epoch)
+                    with timers.phase("train_weights"):
+                        self._train_weights_epoch(sampler, alpha, w_opt, epoch)
+                    if epoch >= cfg.warmup_epochs:
+                        with timers.phase("update_alpha"):
+                            epoch_steps, mean_loss = self._update_alpha_epoch(
+                                sampler, alpha, alpha_opt, lam, epoch)
+                        steps += epoch_steps
+                    else:
+                        with timers.phase("warmup_eval"):
+                            mean_loss = self._warmup_valid_loss(
+                                sampler, alpha, epoch)
+                else:
                     with timers.phase("update_alpha"):
                         epoch_steps, mean_loss = self._update_alpha_epoch(
                             sampler, alpha, alpha_opt, lam, epoch)
                     steps += epoch_steps
-                else:
-                    with timers.phase("warmup_eval"):
-                        mean_loss = self._warmup_valid_loss(sampler, alpha, epoch)
-            else:
-                with timers.phase("update_alpha"):
-                    epoch_steps, mean_loss = self._update_alpha_epoch(
-                        sampler, alpha, alpha_opt, lam, epoch)
-                steps += epoch_steps
 
-            with timers.phase("derive"):
-                arch = sampler.derive_architecture(alpha)
-                predicted = self.predictor.predict_arch(arch)
+                with timers.phase("derive"):
+                    arch = sampler.derive_architecture(alpha)
+                    predicted = self.predictor.predict_arch(arch)
             trajectory.record(epoch, predicted, lam.value, mean_loss,
                               schedule.at(epoch), arch)
-            journal.epoch(
+            epoch_fields = dict(
                 epoch=epoch,
                 predicted_metric=round(float(predicted), 6),
                 target=cfg.target,
@@ -408,6 +432,9 @@ class LightNAS:
                 architecture=list(arch.op_indices),
                 wall_time_s=round(time.perf_counter() - epoch_start, 6),
             )
+            if op_prof is not None:
+                epoch_fields["op_profile"] = op_prof.as_dict()
+            journal.epoch(**epoch_fields)
             if verbose:
                 print(
                     f"[lightnas] epoch {epoch:3d} metric {predicted:7.3f} "
@@ -448,17 +475,18 @@ class LightNAS:
         """One epoch of supernet weight training on the train fold."""
         cfg = self.config
         self.supernet.train(True)
-        for _ in range(cfg.steps_per_epoch):
-            batch = self.task.sample_batch(self.task.train, cfg.batch_size)
-            with nn.no_grad():
-                _, gates_const = sampler.sample_gates(alpha.detach(), epoch)
-            logits = self.supernet.forward_single_path(
-                nn.Tensor(batch.images), nn.Tensor(gates_const.data)
-            )
-            loss = F.cross_entropy(logits, batch.labels)
-            w_opt.zero_grad()
-            loss.backward()
-            w_opt.step()
+        with nn.dtype_scope(cfg.compute_dtype):
+            for _ in range(cfg.steps_per_epoch):
+                batch = self.task.sample_batch(self.task.train, cfg.batch_size)
+                with nn.no_grad():
+                    _, gates_const = sampler.sample_gates(alpha.detach(), epoch)
+                logits = self.supernet.forward_single_path(
+                    nn.Tensor(batch.images), nn.Tensor(gates_const.data)
+                )
+                loss = F.cross_entropy(logits, batch.labels)
+                w_opt.zero_grad()
+                loss.backward()
+                w_opt.step()
 
     def _update_alpha_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
                             alpha_opt: nn.Optimizer, lam: LagrangeMultiplier,
@@ -511,7 +539,8 @@ class LightNAS:
         was_training = self.supernet.training
         self.supernet.eval()
         try:
-            with nn.no_grad():
+            # no_grad + tape-free ops: this eval allocates zero closures
+            with nn.dtype_scope(cfg.compute_dtype), nn.no_grad():
                 logits = self.supernet.forward_single_path(
                     nn.Tensor(batch.images), nn.Tensor(gates.data))
                 loss = F.cross_entropy(logits, batch.labels)
@@ -524,6 +553,8 @@ class LightNAS:
         if cfg.mode == "surrogate":
             return self.oracle.differentiable_loss(gates)
         self.supernet.train(True)
-        batch = self.task.sample_batch(self.task.valid, cfg.batch_size)
-        logits = self.supernet.forward_single_path(nn.Tensor(batch.images), gates)
-        return F.cross_entropy(logits, batch.labels)
+        with nn.dtype_scope(cfg.compute_dtype):
+            batch = self.task.sample_batch(self.task.valid, cfg.batch_size)
+            logits = self.supernet.forward_single_path(
+                nn.Tensor(batch.images), gates)
+            return F.cross_entropy(logits, batch.labels)

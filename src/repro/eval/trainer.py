@@ -44,7 +44,11 @@ class TrainReport:
 
 
 def accuracy(model: nn.Module, batch: Batch) -> float:
-    """Top-1 accuracy of a model on one batch (eval mode)."""
+    """Top-1 accuracy of a model on one batch (eval mode).
+
+    Runs under ``nn.no_grad()``, so with the tape-free ops engine the
+    forward allocates no backward closures and keeps no intermediates.
+    """
     model.eval()
     with nn.no_grad():
         logits = model(nn.Tensor(batch.images))
@@ -65,33 +69,42 @@ def train_standalone(
     dropout: float = 0.2,
     with_se_last: int = 0,
     seed: int = 0,
+    compute_dtype: str = "float64",
 ) -> TrainReport:
-    """Train ``arch`` from scratch on ``task`` and report accuracies."""
+    """Train ``arch`` from scratch on ``task`` and report accuracies.
+
+    ``compute_dtype="float32"`` opts the whole run into the engine's
+    reduced-precision mode (same semantics as
+    ``LightNASConfig.compute_dtype``); the float64 default keeps seeded
+    runs bit-identical to the historical engine.
+    """
     rng = np.random.default_rng(seed)
-    model = build_standalone(space, arch, rng, dropout=dropout,
-                             with_se_last=with_se_last)
-    optimizer = nn.SGD(model.parameters(), lr=base_lr, momentum=0.9,
-                       weight_decay=weight_decay)
-    schedule = nn.CosineSchedule(
-        base_lr, total_steps=epochs, warmup_steps=min(warmup_epochs, epochs - 1),
-        warmup_start_lr=base_lr / 5.0,
-    )
-    losses: List[float] = []
-    for epoch in range(epochs):
-        schedule.apply(optimizer, epoch)
-        epoch_loss, batches = 0.0, 0
-        for batch in task.batches(task.train, batch_size):
-            logits = model(nn.Tensor(batch.images))
-            loss = F.cross_entropy(logits, batch.labels)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item()
-            batches += 1
-        losses.append(epoch_loss / max(batches, 1))
-    return TrainReport(
-        train_losses=losses,
-        valid_accuracy=accuracy(model, task.valid),
-        train_accuracy=accuracy(model, task.train),
-        epochs=epochs,
-    )
+    with nn.dtype_scope(compute_dtype):
+        model = build_standalone(space, arch, rng, dropout=dropout,
+                                 with_se_last=with_se_last)
+        optimizer = nn.SGD(model.parameters(), lr=base_lr, momentum=0.9,
+                           weight_decay=weight_decay)
+        schedule = nn.CosineSchedule(
+            base_lr, total_steps=epochs,
+            warmup_steps=min(warmup_epochs, epochs - 1),
+            warmup_start_lr=base_lr / 5.0,
+        )
+        losses: List[float] = []
+        for epoch in range(epochs):
+            schedule.apply(optimizer, epoch)
+            epoch_loss, batches = 0.0, 0
+            for batch in task.batches(task.train, batch_size):
+                logits = model(nn.Tensor(batch.images))
+                loss = F.cross_entropy(logits, batch.labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        return TrainReport(
+            train_losses=losses,
+            valid_accuracy=accuracy(model, task.valid),
+            train_accuracy=accuracy(model, task.train),
+            epochs=epochs,
+        )

@@ -7,7 +7,7 @@ straight-through machinery), module containers, and the exact optimizers the
 paper's training recipes call for.
 """
 
-from . import functional, init, ops, optim
+from . import functional, init, ops, optim, profiler
 from .modules import (
     BatchNorm2d,
     Conv2d,
@@ -25,10 +25,18 @@ from .modules import (
     SqueezeExcite,
 )
 from .optim import SGD, Adam, CosineSchedule, GradientAscent, Optimizer
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    dtype_scope,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "functional", "ops", "optim", "init",
+    "profiler", "set_default_dtype", "get_default_dtype", "dtype_scope",
     "Module", "Parameter", "Sequential", "Identity", "Linear", "Conv2d",
     "BatchNorm2d", "ReLU", "ReLU6", "Sigmoid", "Dropout", "GlobalAvgPool",
     "Flatten", "SqueezeExcite",

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, _GradMode, get_default_dtype
 from . import ops
 
 __all__ = [
@@ -55,7 +55,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
         raise ValueError("labels out of range for num_classes")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -83,12 +83,15 @@ def l1_loss(pred: Tensor, target) -> Tensor:
     """Mean absolute error (used for robust predictor fitting)."""
     target = target if isinstance(target, Tensor) else Tensor(target)
     diff = (pred - target.detach()).data
+    out = np.abs(diff).mean()
+    if not _GradMode.enabled or not pred.requires_grad:
+        return Tensor(out)
     sign = np.sign(diff)
 
     def backward(grad):
         return [(pred, grad * sign / diff.size)]
 
-    return Tensor._make(np.abs(diff).mean(), (pred,), backward)
+    return Tensor._make(out, (pred,), backward)
 
 
 def gumbel_noise(shape, rng: np.random.Generator) -> np.ndarray:
@@ -141,6 +144,8 @@ def hard_binarize_ste(probs: Tensor, axis: int = -1) -> Tensor:
     hard = np.zeros_like(data)
     idx = np.argmax(data, axis=axis)
     np.put_along_axis(hard, np.expand_dims(idx, axis=axis), 1.0, axis=axis)
+    if not _GradMode.enabled or not probs.requires_grad:
+        return Tensor(hard)
 
     def backward(grad):
         return [(probs, grad)]

@@ -21,7 +21,7 @@ import numpy as np
 
 from . import functional as F
 from . import init, ops
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, get_default_dtype, no_grad
 
 __all__ = [
     "Module", "Parameter", "Sequential", "Identity", "Linear", "Conv2d",
@@ -60,7 +60,14 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register non-learnable state included in ``state_dict``."""
+        """Register non-learnable state included in ``state_dict``.
+
+        Floating-point buffers are stored in the engine's default compute
+        dtype so float32 models keep running statistics in float32.
+        """
+        value = np.asarray(value)
+        if value.dtype.kind == "f":
+            value = value.astype(get_default_dtype(), copy=False)
         self._buffers[name] = value
         object.__setattr__(self, name, value)
 
@@ -123,12 +130,14 @@ class Module:
                 raise KeyError(f"missing parameter {key} in state dict")
             if state[key].shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {key}")
-            param.data = np.array(state[key], dtype=np.float64, copy=True)
+            param.data = np.array(state[key], dtype=param.data.dtype, copy=True)
         for name in self._buffers:
             key = f"{prefix}{name}"
             if key not in state:
                 raise KeyError(f"missing buffer {key} in state dict")
-            self._set_buffer(name, np.array(state[key], copy=True))
+            self._set_buffer(
+                name, np.array(state[key], dtype=self._buffers[name].dtype,
+                               copy=True))
         for name, module in self._modules.items():
             module.load_state_dict(state, prefix=f"{prefix}{name}.")
 
@@ -311,7 +320,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self.rng.uniform(size=x.shape) < keep).astype(np.float64)
+        mask = (self.rng.uniform(size=x.shape) < keep).astype(x.data.dtype)
         return ops.dropout_mask(x, mask, 1.0 / keep)
 
 

@@ -6,25 +6,95 @@ module attaches the Python operator overloads (``+``, ``*``, ``@`` …) to
 :class:`Tensor`; :mod:`repro.nn` performs that import, so users never need to
 import this module directly.
 
-Convolution is implemented with im2col/col2im, supporting stride, symmetric
-padding and grouped kernels (which covers the depthwise convolutions used by
-the MBConv operators of the LightNAS search space).
+Engine notes
+------------
+* **Tape-free eval**: every op checks the grad mode *before* constructing
+  its backward closure, so forwards under ``nn.no_grad()`` allocate zero
+  closures and capture no intermediates — validation passes cost only the
+  forward arithmetic.
+* **Specialized convolution kernels**: ``conv2d`` dispatches depthwise
+  (``groups == C_in``) and pointwise (1×1, ``groups == 1``) convolutions to
+  direct strided-window einsum kernels that skip the im2col reshuffle and
+  the col2im scatter of the generic grouped path.  Both fast paths are
+  einsum-reductions with the same accumulation order as the generic path,
+  so in float64 they are **bit-identical** to it (asserted by
+  ``tests/nn/test_conv_fast_paths.py`` and the golden-trajectory test);
+  :func:`fast_kernels` toggles them for benchmarking.
+* **Profiling**: when a :func:`repro.nn.profiler.profile` context is open,
+  each primitive op records wall time and call count under its op kind
+  (backward closures under ``<kind>.bwd`` via ``Tensor.backward``).
+
+The generic convolution is im2col/col2im with stride, symmetric padding and
+grouped kernels; its col2im adjoint is fully vectorized (a dilated
+scatter buffer reduced through a negative-stride window view — no Python
+``kh×kw`` loop).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+import functools
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from . import profiler
+from .tensor import Tensor, _GradMode, _unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
     "matmul", "sum_", "mean", "clip", "relu", "relu6", "sigmoid", "tanh",
     "reshape", "transpose", "concat", "pad2d", "conv2d", "avg_pool_global",
-    "maximum", "getitem", "stack", "dropout_mask",
+    "maximum", "getitem", "stack", "dropout_mask", "fast_kernels",
 ]
+
+#: dispatch depthwise/1×1 convolutions to the specialized kernels
+_FAST_KERNELS = True
+
+
+@contextmanager
+def fast_kernels(enabled: bool = True) -> Iterator[None]:
+    """Enable/disable the specialized conv kernels inside the context.
+
+    ``fast_kernels(False)`` forces every convolution through the generic
+    grouped im2col path — used by the parity tests and the
+    ``bench_nn_engine`` old-vs-new comparison.  In float64 the outputs and
+    gradients are bit-identical either way.
+    """
+    global _FAST_KERNELS
+    previous = _FAST_KERNELS
+    _FAST_KERNELS = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_KERNELS = previous
+
+
+def _op(kind: str):
+    """Record wall time under ``kind`` while a profiler context is open.
+
+    When no profiler is active the overhead is one attribute load and a
+    ``None`` check per call.  The produced tensor is labelled with the op
+    kind so ``Tensor.backward`` can attribute closure time to ``kind.bwd``.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            prof = profiler._active
+            if prof is None:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            prof.record(kind, time.perf_counter() - start)
+            if isinstance(out, Tensor) and out.name is None:
+                out.name = kind
+            return out
+
+        return wrapper
+
+    return decorate
 
 
 def _as_tensor(value) -> Tensor:
@@ -35,9 +105,12 @@ def _as_tensor(value) -> Tensor:
 # Elementwise arithmetic
 # ----------------------------------------------------------------------
 
+@_op("add")
 def add(a: Tensor, b) -> Tensor:
     a, b = _as_tensor(a), _as_tensor(b)
     out = a.data + b.data
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
 
     def backward(grad):
         return [(a, _unbroadcast(grad, a.shape)), (b, _unbroadcast(grad, b.shape))]
@@ -45,9 +118,12 @@ def add(a: Tensor, b) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("sub")
 def sub(a: Tensor, b) -> Tensor:
     a, b = _as_tensor(a), _as_tensor(b)
     out = a.data - b.data
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
 
     def backward(grad):
         return [(a, _unbroadcast(grad, a.shape)), (b, _unbroadcast(-grad, b.shape))]
@@ -55,9 +131,12 @@ def sub(a: Tensor, b) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("mul")
 def mul(a: Tensor, b) -> Tensor:
     a, b = _as_tensor(a), _as_tensor(b)
     out = a.data * b.data
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
 
     def backward(grad):
         return [
@@ -68,9 +147,12 @@ def mul(a: Tensor, b) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("div")
 def div(a: Tensor, b) -> Tensor:
     a, b = _as_tensor(a), _as_tensor(b)
     out = a.data / b.data
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
 
     def backward(grad):
         return [
@@ -81,8 +163,11 @@ def div(a: Tensor, b) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("neg")
 def neg(a: Tensor) -> Tensor:
     out = -a.data
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, -grad)]
@@ -90,10 +175,13 @@ def neg(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("pow")
 def pow_(a: Tensor, exponent: float) -> Tensor:
     """Raise to a constant power (the exponent is not differentiated)."""
     exponent = float(exponent)
     out = a.data ** exponent
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * exponent * a.data ** (exponent - 1.0))]
@@ -101,8 +189,11 @@ def pow_(a: Tensor, exponent: float) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("exp")
 def exp(a: Tensor) -> Tensor:
     out = np.exp(a.data)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * out)]
@@ -110,8 +201,11 @@ def exp(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("log")
 def log(a: Tensor) -> Tensor:
     out = np.log(a.data)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad / a.data)]
@@ -119,8 +213,11 @@ def log(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("sqrt")
 def sqrt(a: Tensor) -> Tensor:
     out = np.sqrt(a.data)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * 0.5 / out)]
@@ -128,10 +225,13 @@ def sqrt(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("maximum")
 def maximum(a: Tensor, b) -> Tensor:
     """Elementwise maximum; ties route the gradient to the first argument."""
     a, b = _as_tensor(a), _as_tensor(b)
     out = np.maximum(a.data, b.data)
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
     a_wins = a.data >= b.data
 
     def backward(grad):
@@ -143,9 +243,12 @@ def maximum(a: Tensor, b) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("clip")
 def clip(a: Tensor, low: float, high: float) -> Tensor:
     """Clamp to ``[low, high]``; gradient is 1 strictly inside the band."""
     out = np.clip(a.data, low, high)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
     inside = (a.data > low) & (a.data < high)
 
     def backward(grad):
@@ -154,8 +257,11 @@ def clip(a: Tensor, low: float, high: float) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("relu")
 def relu(a: Tensor) -> Tensor:
     out = np.maximum(a.data, 0.0)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
     mask = a.data > 0.0
 
     def backward(grad):
@@ -169,8 +275,11 @@ def relu6(a: Tensor) -> Tensor:
     return clip(a, 0.0, 6.0)
 
 
+@_op("sigmoid")
 def sigmoid(a: Tensor) -> Tensor:
     out = 1.0 / (1.0 + np.exp(-a.data))
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * out * (1.0 - out))]
@@ -178,8 +287,11 @@ def sigmoid(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("tanh")
 def tanh(a: Tensor) -> Tensor:
     out = np.tanh(a.data)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * (1.0 - out ** 2))]
@@ -187,9 +299,12 @@ def tanh(a: Tensor) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("dropout")
 def dropout_mask(a: Tensor, mask: np.ndarray, scale: float) -> Tensor:
     """Multiply by a fixed 0/1 mask and rescale (inverted dropout)."""
     out = a.data * mask * scale
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad * mask * scale)]
@@ -201,9 +316,12 @@ def dropout_mask(a: Tensor, mask: np.ndarray, scale: float) -> Tensor:
 # Linear algebra and reductions
 # ----------------------------------------------------------------------
 
+@_op("matmul")
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     a, b = _as_tensor(a), _as_tensor(b)
     out = a.data @ b.data
+    if not _GradMode.enabled or not (a.requires_grad or b.requires_grad):
+        return Tensor(out)
 
     def backward(grad):
         if a.data.ndim == 1 and b.data.ndim == 1:  # inner product
@@ -219,8 +337,11 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
     return Tensor._make(out, (a, b), backward)
 
 
+@_op("sum")
 def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     out = a.data.sum(axis=axis, keepdims=keepdims)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         g = np.asarray(grad)
@@ -246,8 +367,11 @@ def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
 # Shape manipulation
 # ----------------------------------------------------------------------
 
+@_op("reshape")
 def reshape(a: Tensor, shape) -> Tensor:
     out = a.data.reshape(shape)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad.reshape(a.shape))]
@@ -255,8 +379,11 @@ def reshape(a: Tensor, shape) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("transpose")
 def transpose(a: Tensor, axes=None) -> Tensor:
     out = np.transpose(a.data, axes)
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         inverse = None if axes is None else np.argsort(axes)
@@ -265,8 +392,11 @@ def transpose(a: Tensor, axes=None) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("getitem")
 def getitem(a: Tensor, index) -> Tensor:
     out = a.data[index]
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         full = np.zeros_like(a.data)
@@ -276,9 +406,12 @@ def getitem(a: Tensor, index) -> Tensor:
     return Tensor._make(out, (a,), backward)
 
 
+@_op("concat")
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_as_tensor(t) for t in tensors]
     out = np.concatenate([t.data for t in tensors], axis=axis)
+    if not _GradMode.enabled or not any(t.requires_grad for t in tensors):
+        return Tensor(out)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -293,9 +426,12 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out, tuple(tensors), backward)
 
 
+@_op("stack")
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_as_tensor(t) for t in tensors]
     out = np.stack([t.data for t in tensors], axis=axis)
+    if not _GradMode.enabled or not any(t.requires_grad for t in tensors):
+        return Tensor(out)
 
     def backward(grad):
         slices = np.split(grad, len(tensors), axis=axis)
@@ -304,12 +440,15 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out, tuple(tensors), backward)
 
 
+@_op("pad2d")
 def pad2d(a: Tensor, padding: int) -> Tensor:
     """Zero-pad the last two (spatial) axes of an NCHW tensor."""
     if padding == 0:
         return a
     p = int(padding)
     out = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+    if not _GradMode.enabled or not a.requires_grad:
+        return Tensor(out)
 
     def backward(grad):
         return [(a, grad[:, :, p:-p, p:-p])]
@@ -333,17 +472,28 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int) -> np.ndarray:
-    """Adjoint of :func:`_im2col`: scatter-add windows back to the image."""
+    """Adjoint of :func:`_im2col`: scatter-add windows back to the image.
+
+    Fully vectorized: the windows are written into a kernel-dilated scatter
+    buffer (one strided assignment), then summed through a window view whose
+    kernel axes carry *negative* spatial strides, so position ``(y, x)``
+    reads exactly the ``(i, j)`` window entries that cover it.  The einsum
+    reduction visits ``(i, j)`` in the same ascending order as the
+    historical Python loop, so results are bit-identical to it.
+    """
     n, c, h, w = x_shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
-    out = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
-                :, :, i, j, :, :
-            ]
-    return out
+    di, dj = kh - 1, kw - 1
+    buf = np.zeros((n, c, kh, kw, h + di, w + dj), dtype=cols.dtype)
+    buf[:, :, :, :, di:di + stride * oh:stride, dj:dj + stride * ow:stride] = cols
+    sn, sc, si, sj, sy, sx = buf.strides
+    window = np.lib.stride_tricks.as_strided(
+        buf[:, :, :, :, di:, dj:],
+        shape=(n, c, kh, kw, h, w),
+        strides=(sn, sc, si - sy, sj - sx, sy, sx),
+    )
+    return np.einsum("ncijyx->ncyx", window)
 
 
 def conv2d(
@@ -369,6 +519,10 @@ def conv2d(
     groups:
         Number of channel groups; ``groups == C_in`` with ``C_out == C_in``
         gives a depthwise convolution.
+
+    Depthwise and pointwise (1×1, ungrouped) kernels dispatch to direct
+    strided-window fast paths that are bit-identical to the generic grouped
+    path in float64 (see :func:`fast_kernels`).
     """
     if padding:
         x = pad2d(x, padding)
@@ -382,14 +536,114 @@ def conv2d(
         )
     if c_out % groups != 0:
         raise ValueError(f"c_out={c_out} not divisible by groups={groups}")
+
+    if _FAST_KERNELS:
+        if groups == 1 and kh == 1 and kw == 1:
+            return _conv2d_1x1(x, weight, bias, stride)
+        if groups == c_in and c_out == c_in and c_in_g == 1:
+            return _conv2d_depthwise(x, weight, bias, stride)
+    return _conv2d_generic(x, weight, bias, stride, groups)
+
+
+@_op("conv2d_1x1")
+def _conv2d_1x1(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                stride: int) -> Tensor:
+    """Pointwise convolution: a channel contraction, no im2col at all."""
+    xd = x.data[:, :, ::stride, ::stride] if stride > 1 else x.data
+    w_mat = weight.data[:, :, 0, 0]  # (C_out, C_in)
+    # NOTE: like the generic path's transpose-reshape view, this einsum may
+    # hand back a channel-major (non-C-contiguous) array; downstream
+    # pairwise reductions are layout-sensitive, so preserving the generic
+    # path's layout here is part of the bit-identity contract.
+    out = np.einsum("nchw,oc->nohw", xd, w_mat, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _GradMode.enabled or not any(p.requires_grad for p in parents):
+        return Tensor(out)
+
+    def backward(grad):
+        pairs = []
+        if x.requires_grad:
+            # += into zeros (not assignment) matches the generic col2im,
+            # which canonicalises -0.0 products to +0.0.  np.zeros (not
+            # zeros_like) pins C order even if x.data is a strided view.
+            gx = np.zeros(x.shape, dtype=x.data.dtype)
+            if stride > 1:
+                gx[:, :, ::stride, ::stride] += np.einsum(
+                    "nohw,oc->nchw", grad, w_mat, optimize=True)
+            else:
+                gx += np.einsum("nohw,oc->nchw", grad, w_mat, optimize=True)
+            pairs.append((x, gx))
+        if weight.requires_grad:
+            gw = np.ascontiguousarray(
+                np.einsum("nohw,nchw->oc", grad, xd, optimize=True))
+            pairs.append((weight, gw[:, :, None, None]))
+        if bias is not None and bias.requires_grad:
+            pairs.append((bias, grad.sum(axis=(0, 2, 3))))
+        return pairs
+
+    return Tensor._make(out, parents, backward)
+
+
+@_op("conv2d_dw")
+def _conv2d_depthwise(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                      stride: int) -> Tensor:
+    """Depthwise convolution: per-channel window reduction on the raw view.
+
+    Works directly on the strided im2col *view* (no materialised copy), so
+    the forward is one einsum and the weight gradient another; the input
+    gradient fuses the weight broadcast into the col2im scatter loop
+    without materialising the ``(N, C, kh, kw, OH, OW)`` column gradient.
+    """
+    n, c, h, w = x.shape
+    kh, kw = weight.shape[2:]
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = _im2col(x.data, kh, kw, stride)  # view, no copy
+    w_sq = weight.data[:, 0]  # (C, kh, kw)
+    out = np.einsum("ncijpq,cij->ncpq", cols, w_sq, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _GradMode.enabled or not any(p.requires_grad for p in parents):
+        return Tensor(out)
+
+    def backward(grad):
+        pairs = []
+        if x.requires_grad:
+            gx = np.zeros(x.shape, dtype=x.data.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    gx[:, :, i:i + stride * oh:stride,
+                       j:j + stride * ow:stride] += (
+                        grad * w_sq[None, :, i, j, None, None])
+            pairs.append((x, gx))
+        if weight.requires_grad:
+            gw = np.einsum("ncpq,ncijpq->cij", grad, cols, optimize=True)
+            pairs.append((weight, gw[:, None]))
+        if bias is not None and bias.requires_grad:
+            pairs.append((bias, grad.sum(axis=(0, 2, 3))))
+        return pairs
+
+    return Tensor._make(out, parents, backward)
+
+
+@_op("conv2d")
+def _conv2d_generic(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                    stride: int, groups: int) -> Tensor:
+    """Generic grouped convolution via materialised im2col columns."""
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
     co_g = c_out // groups
 
     cols = _im2col(x.data, kh, kw, stride)  # (N, C, kh, kw, OH, OW)
-    # Group the channel axis: (N, G, C_in_g*kh*kw, OH*OW)
+    # Group the channel axis: (N, G, OH*OW, C_in_g*kh*kw)
     cols_g = cols.reshape(n, groups, c_in_g, kh, kw, oh, ow)
-    cols_mat = cols_g.transpose(0, 1, 5, 6, 2, 3, 4).reshape(n, groups, oh * ow, c_in_g * kh * kw)
+    cols_mat = cols_g.transpose(0, 1, 5, 6, 2, 3, 4).reshape(
+        n, groups, oh * ow, c_in_g * kh * kw)
     w_mat = weight.data.reshape(groups, co_g, c_in_g * kh * kw)
 
     # (n, g, oh*ow, co_g) = (n, g, oh*ow, ckk) @ (g, ckk, co_g)
@@ -399,19 +653,25 @@ def conv2d(
         out = out + bias.data.reshape(1, c_out, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _GradMode.enabled or not any(p.requires_grad for p in parents):
+        return Tensor(out)
 
     def backward(grad):
-        grad_mat = grad.reshape(n, groups, co_g, oh * ow).transpose(0, 1, 3, 2)  # n,g,p,o
-        # dW: (g, o, k) = sum_n,p grad (n,g,p,o) * cols (n,g,p,k)
-        gw = np.einsum("ngpo,ngpk->gok", grad_mat, cols_mat, optimize=True)
-        gw = gw.reshape(c_out, c_in_g, kh, kw)
-        # dX columns: (n,g,p,k) = grad (n,g,p,o) @ w (g,o,k)
-        gcols_mat = np.einsum("ngpo,gok->ngpk", grad_mat, w_mat, optimize=True)
-        gcols = gcols_mat.reshape(n, groups, oh, ow, c_in_g, kh, kw)
-        gcols = gcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(n, c_in, kh, kw, oh, ow)
-        gx = _col2im(gcols, (n, c_in, h, w), kh, kw, stride)
-        pairs = [(x, gx), (weight, gw)]
-        if bias is not None:
+        grad_mat = grad.reshape(n, groups, co_g, oh * ow).transpose(0, 1, 3, 2)
+        pairs = []
+        if x.requires_grad:
+            # dX columns: (n,g,p,k) = grad (n,g,p,o) @ w (g,o,k)
+            gcols_mat = np.einsum("ngpo,gok->ngpk", grad_mat, w_mat,
+                                  optimize=True)
+            gcols = gcols_mat.reshape(n, groups, oh, ow, c_in_g, kh, kw)
+            gcols = gcols.transpose(0, 1, 4, 5, 6, 2, 3).reshape(
+                n, c_in, kh, kw, oh, ow)
+            pairs.append((x, _col2im(gcols, (n, c_in, h, w), kh, kw, stride)))
+        if weight.requires_grad:
+            # dW: (g, o, k) = sum_n,p grad (n,g,p,o) * cols (n,g,p,k)
+            gw = np.einsum("ngpo,ngpk->gok", grad_mat, cols_mat, optimize=True)
+            pairs.append((weight, gw.reshape(c_out, c_in_g, kh, kw)))
+        if bias is not None and bias.requires_grad:
             pairs.append((bias, grad.sum(axis=(0, 2, 3))))
         return pairs
 

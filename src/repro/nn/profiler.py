@@ -1,0 +1,96 @@
+"""Lightweight per-op profiler for the :mod:`repro.nn` engine.
+
+:func:`profile` opens a context during which every primitive op in
+:mod:`repro.nn.ops` records its wall time and call count under its op kind
+(``conv2d_dw``, ``matmul``, …); backward closures executed by
+:meth:`Tensor.backward` are recorded under ``<kind>.bwd``.  Outside the
+context the instrumentation cost is one module-attribute check per op call,
+so training speed is unaffected when profiling is off.
+
+The aggregate feeds the search engines' journal epochs
+(``LightNASConfig(profile_ops=True)``) and is rendered by
+``python -m repro trace-summary --ops``.
+
+>>> from repro import nn
+>>> with nn.profiler.profile() as prof:
+...     _ = nn.Tensor([1.0]) + nn.Tensor([2.0])
+>>> prof.as_dict()["add"]["calls"]
+1
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["OpProfile", "profile", "active_profile", "merge_profiles"]
+
+#: the currently-open profile, or None (checked by ops.py per call)
+_active: Optional["OpProfile"] = None
+
+
+class OpProfile:
+    """Wall-time and call-count aggregate keyed by op kind."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def record(self, kind: str, elapsed_s: float) -> None:
+        self._totals[kind] = self._totals.get(kind, 0.0) + elapsed_s
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{kind: {"total_ms", "calls", "mean_ms"}}`` sorted by total."""
+        out: Dict[str, Dict[str, float]] = {}
+        for kind in sorted(self._totals, key=self._totals.get, reverse=True):
+            total_ms = self._totals[kind] * 1e3
+            calls = self._counts[kind]
+            out[kind] = {
+                "total_ms": round(total_ms, 4),
+                "calls": calls,
+                "mean_ms": round(total_ms / calls, 6),
+            }
+        return out
+
+
+def active_profile() -> Optional[OpProfile]:
+    """The profile currently collecting, or None when profiling is off."""
+    return _active
+
+
+@contextmanager
+def profile(target: Optional[OpProfile] = None) -> Iterator[OpProfile]:
+    """Collect per-op timings for the duration of the context.
+
+    Pass an existing :class:`OpProfile` as ``target`` to accumulate across
+    several contexts (e.g. one profile per search epoch).  Nested contexts
+    simply stack: the innermost target collects.
+    """
+    global _active
+    prof = target if target is not None else OpProfile()
+    previous = _active
+    _active = prof
+    try:
+        yield prof
+    finally:
+        _active = previous
+
+
+def merge_profiles(acc: Dict[str, Dict[str, float]],
+                   update: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Merge two :meth:`OpProfile.as_dict` payloads (totals and calls add)."""
+    for kind, row in update.items():
+        slot = acc.setdefault(kind, {"total_ms": 0.0, "calls": 0, "mean_ms": 0.0})
+        slot["total_ms"] = round(slot["total_ms"] + row.get("total_ms", 0.0), 4)
+        slot["calls"] = int(slot["calls"]) + int(row.get("calls", 0))
+        if slot["calls"]:
+            slot["mean_ms"] = round(slot["total_ms"] / slot["calls"], 6)
+    return acc

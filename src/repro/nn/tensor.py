@@ -19,22 +19,83 @@ Design notes
   recursion, so deep supernets do not hit the interpreter stack limit) and
   routes contributions through a per-call dictionary, accumulating into
   ``leaf.grad`` only at leaves.
-* Data is stored as ``float64``: the library's workloads are small (this is
-  a single-core reproduction) and the precision keeps finite-difference
-  gradient checks tight.
+* Data is stored in the process-wide default compute dtype — ``float64``
+  unless :func:`set_default_dtype` (or the ``REPRO_NN_DTYPE`` environment
+  variable) opts into ``float32``.  The float64 default keeps seeded runs
+  bit-identical and finite-difference gradient checks tight; float32 halves
+  memory traffic for supernet training.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import profiler
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 BackwardFn = Callable[[np.ndarray], List[Tuple["Tensor", np.ndarray]]]
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_default_dtype",
+           "get_default_dtype", "dtype_scope"]
+
+#: compute dtypes the engine supports (float64 is the bit-stable default)
+_SUPPORTED_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+class _DtypeState:
+    """Process-wide default compute dtype for new tensors."""
+
+    value: np.dtype = np.dtype(np.float64)
+
+
+def set_default_dtype(dtype: Union[str, np.dtype, type]) -> np.dtype:
+    """Set the dtype new :class:`Tensor` data is stored in; returns the old.
+
+    ``float64`` (the default) keeps every seeded run bit-identical to the
+    historical engine; ``float32`` halves memory traffic for supernet
+    training at the cost of that guarantee.
+    """
+    name = np.dtype(dtype).name
+    if name not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported nn dtype {name!r}; expected one of "
+            f"{tuple(_SUPPORTED_DTYPES)}"
+        )
+    previous = _DtypeState.value
+    _DtypeState.value = np.dtype(_SUPPORTED_DTYPES[name])
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype currently used for new tensor data."""
+    return _DtypeState.value
+
+
+@contextmanager
+def dtype_scope(dtype: Union[str, np.dtype, type]) -> Iterator[np.dtype]:
+    """Temporarily switch the default compute dtype.
+
+    >>> with dtype_scope("float32"):
+    ...     Tensor([1.0]).data.dtype == np.float32
+    True
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield _DtypeState.value
+    finally:
+        _DtypeState.value = previous
+
+
+# honour REPRO_NN_DTYPE=float32 for whole-process opt-in (e.g. benchmarks)
+_env_dtype = os.environ.get("REPRO_NN_DTYPE")
+if _env_dtype:
+    set_default_dtype(_env_dtype)
 
 
 class _GradMode:
@@ -92,7 +153,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like initial value (stored as ``float64``).
+        Array-like initial value (stored in the default compute dtype,
+        ``float64`` unless changed via :func:`set_default_dtype`).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream tensor.
@@ -110,7 +172,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = np.asarray(data, dtype=_DtypeState.value)
         self.requires_grad: bool = bool(requires_grad) and _GradMode.enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[BackwardFn] = None
@@ -183,7 +245,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -201,7 +263,7 @@ class Tensor:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"grad shape {grad.shape} does not match tensor shape {self.data.shape}"
@@ -225,6 +287,7 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        prof = profiler.active_profile()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -232,14 +295,22 @@ class Tensor:
             if node._backward is None:
                 node._accumulate(node_grad)
                 continue
-            for parent, contribution in node._backward(node_grad):
+            if prof is None:
+                pairs = node._backward(node_grad)
+            else:
+                start = time.perf_counter()
+                pairs = node._backward(node_grad)
+                prof.record(f"{node.name or 'op'}.bwd",
+                            time.perf_counter() - start)
+            for parent, contribution in pairs:
                 if not parent.requires_grad:
                     continue
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + contribution
                 else:
-                    grads[key] = np.asarray(contribution, dtype=np.float64)
+                    grads[key] = np.asarray(contribution,
+                                            dtype=parent.data.dtype)
 
 
 # Exposed for ops.py, which implements the arithmetic and attaches the

@@ -137,7 +137,11 @@ class SuperNet(nn.Module):
 
         ``threshold`` optionally skips candidates whose weight is below it
         (FBNet keeps all; ProxylessNAS samples two — callers pass masked
-        weights instead).  Records executed paths in ``last_active_paths``.
+        weights instead).  A candidate with *zero* weight contributes
+        nothing to the blend regardless of the threshold, so it is never
+        executed — this is what makes masked-weight callers (which zero
+        out pruned candidates and pass ``threshold=-1``) pay only for the
+        paths they keep.  Records executed paths in ``last_active_paths``.
         """
         if weights.shape != (self.space.num_layers, self.space.num_operators):
             raise ValueError("weights shape does not match the space")
@@ -146,7 +150,7 @@ class SuperNet(nn.Module):
         for l, block in enumerate(self.choice_blocks):
             acc = None
             for k in range(self.space.num_operators):
-                if weights.data[l, k] <= threshold:
+                if weights.data[l, k] <= threshold or weights.data[l, k] == 0.0:
                     continue
                 term = block[k](h) * weights[l, k]
                 acc = term if acc is None else acc + term

@@ -32,6 +32,8 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..nn.profiler import merge_profiles
+
 __all__ = ["PhaseTimers", "RunJournal", "NullJournal", "read_journal",
            "summarize_runs"]
 
@@ -195,6 +197,7 @@ def summarize_runs(events: List[dict]) -> List[dict]:
                 "architecture": None,
                 "wall_time_s": None,
                 "phase_timers": {},
+                "op_profile": {},
             }
             summaries.append(current)
         elif current is None:
@@ -205,6 +208,9 @@ def summarize_runs(events: List[dict]) -> List[dict]:
             current["final_lambda"] = event.get("lambda")
             current["final_valid_loss"] = event.get("valid_loss")
             current["architecture"] = event.get("architecture")
+            if event.get("op_profile"):
+                current["op_profile"] = merge_profiles(
+                    current["op_profile"], event["op_profile"])
         elif kind == "checkpoint":
             current["checkpoints_written"] += 1
         elif kind == "run_end":

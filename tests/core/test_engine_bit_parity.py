@@ -1,0 +1,68 @@
+"""Golden bit-parity regression for the float64 supernet search trajectory.
+
+The fast kernel layer in :mod:`repro.nn.ops` (depthwise / 1x1 conv paths,
+vectorized col2im, tape-free eval) must be a pure performance change: in
+float64 mode the seeded ``--tiny --supernet`` search has to follow *exactly*
+the trajectory the generic engine produced.  ``tests/data/golden_tiny_supernet.npz``
+was recorded from the pre-fast-path engine (see
+``scripts/capture_golden_trajectory.py``); this test re-runs the identical
+search and asserts every recorded array is bit-for-bit equal.
+
+If a deliberate numerical change ever invalidates the golden file, re-record
+it with the capture script and say so loudly in the commit message.
+"""
+
+import os
+
+import numpy as np
+
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.predictor.analytic import AnalyticCostPredictor
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_tiny_supernet.npz"
+)
+
+#: configuration of the recorded run — keep in sync with the capture script
+GOLDEN_SEED = 7
+GOLDEN_TARGET = 2.0
+GOLDEN_EPOCHS = 6
+
+
+def run_golden_search():
+    """Run the seeded tiny supernet search the golden file was recorded from.
+
+    Uses the analytic MACs predictor so the run needs no measurement
+    campaign and the recorded metrics are closed-form (any drift therefore
+    comes from the nn engine, not from predictor training).
+    """
+    config = LightNASConfig.tiny(
+        latency_target_ms=GOLDEN_TARGET,
+        seed=GOLDEN_SEED,
+        mode="supernet",
+        metric_name="macs_m",
+        epochs=GOLDEN_EPOCHS,
+    )
+    predictor = AnalyticCostPredictor(config.space, "macs_m")
+    engine = LightNAS(config, predictor=predictor)
+    result = engine.search()
+    arrays = dict(result.trajectory.as_arrays())
+    arrays["final_architecture"] = np.array(result.architecture.op_indices,
+                                            dtype=np.int64)
+    arrays["final_predicted_metric"] = np.array([result.predicted_metric])
+    arrays["final_lambda"] = np.array([result.final_lambda])
+    for key, value in engine.supernet.state_dict().items():
+        arrays[f"net.{key}"] = value
+    return arrays
+
+
+def test_trajectory_bit_identical_to_golden():
+    golden = np.load(GOLDEN_PATH)
+    arrays = run_golden_search()
+    assert set(arrays) == set(golden.files)
+    for key in golden.files:
+        assert arrays[key].dtype == golden[key].dtype, key
+        assert np.array_equal(arrays[key], golden[key]), (
+            f"{key!r} diverged from the pre-fast-path engine: the nn fast "
+            f"paths are no longer bit-identical in float64"
+        )

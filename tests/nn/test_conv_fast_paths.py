@@ -1,0 +1,206 @@
+"""The specialized conv kernels vs the generic im2col path.
+
+Every fast path (depthwise, 1×1) must agree with the generic engine —
+property-tested over random shapes/strides/paddings with Hypothesis and
+gradient-checked against central finite differences at float64 tolerance.
+Also pins the tape-free contract: forwards under ``nn.no_grad()`` allocate
+zero backward closures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor, ops
+
+RTOL = 1e-10
+ATOL = 1e-12
+
+
+def _run_conv(x, w, b, stride, padding, groups, fast):
+    """One forward+backward through conv2d, returning (out, gx, gw, gb)."""
+    with ops.fast_kernels(fast):
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True) if b is not None else None
+        out = ops.conv2d(xt, wt, bt, stride=stride, padding=padding,
+                         groups=groups)
+        # non-uniform cotangent so layout bugs can't hide behind symmetry
+        cotangent = np.arange(out.data.size, dtype=np.float64)
+        cotangent = cotangent.reshape(out.shape) / out.data.size
+        (out * Tensor(cotangent)).sum().backward()
+    gb = bt.grad if bt is not None else None
+    return out.data, xt.grad, wt.grad, gb
+
+
+def assert_fast_matches_generic(x, w, b, stride=1, padding=0, groups=1):
+    fast = _run_conv(x, w, b, stride, padding, groups, fast=True)
+    slow = _run_conv(x, w, b, stride, padding, groups, fast=False)
+    for name, f, s in zip(("out", "gx", "gw", "gb"), fast, slow):
+        if f is None and s is None:
+            continue
+        assert np.allclose(f, s, rtol=RTOL, atol=ATOL), (
+            f"{name}: max err {np.abs(f - s).max():.3e}"
+        )
+
+
+def conv_case(draw, *, depthwise=False, pointwise=False, grouped=False):
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    n = draw(st.integers(1, 3))
+    stride = draw(st.sampled_from([1, 2]))
+    if pointwise:
+        c_in, k, padding, groups = draw(st.integers(1, 6)), 1, 0, 1
+        c_out = draw(st.integers(1, 6))
+    elif depthwise:
+        c_in = draw(st.integers(1, 6))
+        c_out, groups = c_in, c_in
+        k = draw(st.sampled_from([3, 5]))
+        padding = draw(st.integers(0, k // 2))
+    elif grouped:
+        groups = draw(st.sampled_from([2, 3]))
+        c_in = groups * draw(st.integers(1, 2))
+        c_out = groups * draw(st.integers(1, 2))
+        k = 3
+        padding = draw(st.integers(0, 1))
+    else:
+        c_in, c_out, groups = draw(st.integers(1, 4)), draw(st.integers(1, 4)), 1
+        k = draw(st.sampled_from([1, 3]))
+        padding = draw(st.integers(0, 1))
+    h = draw(st.integers(max(k - padding * 2, stride), 8))
+    x = rng.normal(size=(n, c_in, h, h))
+    w = rng.normal(size=(c_out, c_in // groups, k, k))
+    b = rng.normal(size=(c_out,)) if draw(st.booleans()) else None
+    return x, w, b, stride, padding, groups
+
+
+class TestFastMatchesGeneric:
+    """Forward and all three gradients agree between engines."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_depthwise(self, data):
+        x, w, b, stride, padding, groups = conv_case(data.draw, depthwise=True)
+        assert_fast_matches_generic(x, w, b, stride, padding, groups)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_pointwise_1x1(self, data):
+        x, w, b, stride, padding, groups = conv_case(data.draw, pointwise=True)
+        assert_fast_matches_generic(x, w, b, stride, padding, groups)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_dense_strided_padded(self, data):
+        x, w, b, stride, padding, groups = conv_case(data.draw)
+        assert_fast_matches_generic(x, w, b, stride, padding, groups)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_grouped_not_depthwise(self, data):
+        x, w, b, stride, padding, groups = conv_case(data.draw, grouped=True)
+        assert_fast_matches_generic(x, w, b, stride, padding, groups)
+
+    def test_supernet_shapes_bit_identical(self):
+        """At the layouts the tiny supernet actually runs, the match is
+        exact to the bit — the property the golden-trajectory test rests on."""
+        rng = np.random.default_rng(0)
+        cases = [
+            # (n, c_in, c_out, h, k, stride, groups)
+            (16, 24, 144, 4, 1, 1, 1),     # expand 1×1
+            (16, 144, 24, 4, 1, 1, 1),     # project 1×1
+            (16, 48, 48, 8, 3, 1, 48),     # depthwise k3 s1
+            (16, 72, 72, 8, 5, 2, 72),     # depthwise k5 s2
+        ]
+        for n, c_in, c_out, h, k, stride, groups in cases:
+            x = rng.normal(size=(n, c_in, h, h))
+            w = rng.normal(size=(c_out, c_in // groups, k, k))
+            fast = _run_conv(x, w, None, stride, k // 2, groups, fast=True)
+            slow = _run_conv(x, w, None, stride, k // 2, groups, fast=False)
+            for name, f, s in zip(("out", "gx", "gw"), fast, slow):
+                assert np.array_equal(f, s), f"{name} not bit-identical"
+
+
+def numeric_grad(fn, x, h=1e-6):
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + h
+        hi = fn(x)
+        flat[i] = orig - h
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * h)
+    return grad
+
+
+class TestFiniteDifferences:
+    """The fast kernels checked directly against central differences."""
+
+    @pytest.mark.parametrize("case", [
+        dict(x=(1, 3, 5, 5), w=(3, 1, 3, 3), stride=1, padding=1, groups=3),
+        dict(x=(2, 4, 6, 6), w=(4, 1, 3, 3), stride=2, padding=1, groups=4),
+        dict(x=(1, 2, 7, 7), w=(2, 1, 5, 5), stride=1, padding=2, groups=2),
+        dict(x=(1, 3, 4, 4), w=(5, 3, 1, 1), stride=1, padding=0, groups=1),
+        dict(x=(2, 3, 5, 5), w=(4, 3, 1, 1), stride=2, padding=0, groups=1),
+    ], ids=["dw_k3_s1", "dw_k3_s2", "dw_k5_pad2", "pw_s1", "pw_s2"])
+    @pytest.mark.parametrize("wrt", [0, 1])
+    def test_fast_kernel_gradients(self, case, wrt):
+        rng = np.random.default_rng(7)
+        arrays = [rng.normal(size=case["x"]), rng.normal(size=case["w"])]
+        kwargs = dict(stride=case["stride"], padding=case["padding"],
+                      groups=case["groups"])
+
+        def scalar(a):
+            inputs = [v.copy() for v in arrays]
+            inputs[wrt] = a
+            with ops.fast_kernels(True):
+                out = ops.conv2d(Tensor(inputs[0]), Tensor(inputs[1]),
+                                 **kwargs)
+            return float(out.sum().data)
+
+        with ops.fast_kernels(True):
+            tensors = [Tensor(a, requires_grad=(i == wrt))
+                       for i, a in enumerate(arrays)]
+            ops.conv2d(tensors[0], tensors[1], **kwargs).sum().backward()
+        analytic = tensors[wrt].grad
+        numeric = numeric_grad(scalar, arrays[wrt].copy())
+        assert np.allclose(analytic, numeric, rtol=1e-5, atol=1e-7), (
+            f"max err {np.abs(analytic - numeric).max():.2e}"
+        )
+
+
+class TestTapeFree:
+    """Eval-mode forwards must allocate zero backward state."""
+
+    def _assert_leaf(self, out):
+        assert out._parents == ()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_conv_fast_paths_no_tape(self):
+        rng = np.random.default_rng(0)
+        with nn.no_grad():
+            x = Tensor(rng.normal(size=(2, 4, 6, 6)), requires_grad=True)
+            w_dw = Tensor(rng.normal(size=(4, 1, 3, 3)), requires_grad=True)
+            w_pw = Tensor(rng.normal(size=(3, 4, 1, 1)), requires_grad=True)
+            self._assert_leaf(ops.conv2d(x, w_dw, padding=1, groups=4))
+            self._assert_leaf(ops.conv2d(x, w_pw))
+
+    def test_model_eval_forward_builds_no_graph(self):
+        """A whole supernet eval forward is one flat sea of leaf tensors."""
+        from repro.proxy.supernet import SuperNet
+        from repro.search_space.macro import MacroConfig
+        from repro.search_space.space import SearchSpace
+
+        space = SearchSpace(MacroConfig.tiny())
+        net = SuperNet(space, np.random.default_rng(0))
+        net.eval()
+        arch = space.sample(np.random.default_rng(1))
+        r = space.macro.input_resolution
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, r, r)))
+        with nn.no_grad():
+            out = net.forward_arch(x, arch)
+        self._assert_leaf(out)

@@ -111,6 +111,28 @@ class TestMultiPath:
                                   threshold=0.5)
         assert supernet.last_active_paths == tiny_space.num_layers
 
+    def test_zero_weight_candidate_never_executed(self, tiny_space, supernet):
+        """Masked-weight callers (threshold<0) must not run zeroed paths.
+
+        ProxylessNAS-style two-path sampling zeroes all other candidates
+        and passes a negative threshold; a zero weight contributes nothing
+        to the blend, so executing the operator would be pure waste.
+        """
+        weights = np.zeros((tiny_space.num_layers, tiny_space.num_operators))
+        weights[:, 0] = 0.6
+        weights[:, 1] = 0.4
+        calls = []
+        zeroed = supernet.choice_blocks[0][2]
+        orig_forward = zeroed.forward
+        zeroed.forward = lambda x: (calls.append(1), orig_forward(x))[1]
+        try:
+            supernet.forward_weighted(batch_images(tiny_space),
+                                      nn.Tensor(weights), threshold=-1.0)
+        finally:
+            zeroed.forward = orig_forward
+        assert calls == [], "zero-weight candidate was executed"
+        assert supernet.last_active_paths == 2 * tiny_space.num_layers
+
     def test_all_pruned_raises(self, tiny_space, supernet):
         weights = nn.Tensor(np.zeros(
             (tiny_space.num_layers, tiny_space.num_operators)))
