@@ -32,6 +32,11 @@ python benchmarks/bench_archive.py --cycles 12 --population 8 --check
 # faster supernet epoch); BENCH_nn.json is kept as a CI artifact.
 python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 
+# Step-compiler benchmark with acceptance thresholds (>= 2x replayed
+# w-step at the overhead-bound default batch, >= 10x alloc drop);
+# BENCH_step.json is kept as a CI artifact.
+python benchmarks/bench_step_replay.py --check
+
 # End-to-end telemetry smoke: a traced tiny search whose journal is kept as
 # a CI artifact (see .github/workflows/ci.yml).
 mkdir -p artifacts

@@ -164,7 +164,8 @@ def cmd_search(args) -> int:
     space = _space(args)
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
-    overrides = {"compute_dtype": args.dtype, "profile_ops": args.profile_ops}
+    overrides = {"compute_dtype": args.dtype, "profile_ops": args.profile_ops,
+                 "use_plans": not args.no_plans}
     if args.epochs:
         overrides["epochs"] = args.epochs
     try:
@@ -292,7 +293,8 @@ def cmd_sweep(args) -> int:
                                               seed=args.seed,
                                               metric_name=args.metric,
                                               compute_dtype=args.dtype,
-                                              profile_ops=args.profile_ops)
+                                              profile_ops=args.profile_ops,
+                                              use_plans=not args.no_plans)
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}")
             checkpoint_dir = None
@@ -454,6 +456,13 @@ def cmd_trace_summary(args) -> int:
             ["wall time (s)", run["wall_time_s"]],
             ["phase timers", timers],
         ]
+        plans = run.get("plan_stats") or {}
+        if plans:
+            rows.append(["step plans",
+                         f"{plans.get('plans_compiled', 0)} compiled, "
+                         f"{plans.get('replays', 0)} replays, "
+                         f"{plans.get('eager_steps', 0)} eager, "
+                         f"arena {plans.get('arena_bytes', 0) / 1e6:.1f} MB"])
         print(render_table(["field", "value"], rows,
                            title=f"run {index + 1}/{len(runs)}"))
         if args.ops:
@@ -464,11 +473,12 @@ def cmd_trace_summary(args) -> int:
                 continue
             op_rows = [
                 [kind, f"{info['total_ms']:.1f}", info["calls"],
-                 f"{info['mean_ms']:.4f}"]
+                 f"{info['mean_ms']:.4f}",
+                 f"{info.get('alloc_bytes', 0) / 1e6:.2f}"]
                 for kind, info in profile.items()
             ]
             print(render_table(
-                ["op", "total ms", "calls", "mean ms"], op_rows,
+                ["op", "total ms", "calls", "mean ms", "alloc MB"], op_rows,
                 title=f"per-op profile — run {index + 1}/{len(runs)}"))
     return 0
 
@@ -613,8 +623,16 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile-ops", action="store_true",
                         help="record per-op wall time in the journal epochs "
                              "(view with: repro trace-summary --ops)")
+    parser.add_argument("--no-plans", action="store_true",
+                        help="disable compiled step plans (trace-once/"
+                             "replay-many execution); the eager engine "
+                             "computes bit-identical results, just slower")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.cli
+    sys.exit(main())

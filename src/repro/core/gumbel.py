@@ -58,8 +58,41 @@ class GumbelSampler:
         """Eq. (6): per-layer operator probabilities ``P``."""
         return F.softmax(alpha, axis=-1)
 
+    def draw_noise(self, shape) -> np.ndarray:
+        """Advance the sampler RNG by one Gumbel draw of the given shape.
+
+        Step plans hoist the draw out of the traced function so the noise
+        becomes a per-step plan *input*; the stream order matches the
+        historical in-line draw exactly (one ``rng.uniform`` call).
+        """
+        return F.gumbel_noise(shape, self.rng)
+
+    def selection_signature(self, alpha_data: np.ndarray, step: int,
+                            noise: Optional[np.ndarray]) -> Tuple[int, ...]:
+        """The per-layer argmax the sampled gates will select, computed with
+        raw numpy replicating the op chain bit-for-bit.
+
+        Float softmax chains are not monotonicity-safe, so the plan key must
+        come from the *exact* arithmetic the traced step performs:
+        log-softmax, additive noise, ``* (1/τ)``, then the stable softmax —
+        the same shift/exp/sum sequence :func:`repro.nn.functional.softmax`
+        lowers to.  Engines key compiled plans on this signature so a replay
+        can never silently follow a stale single-path selection.
+        """
+        a = np.asarray(alpha_data)
+        shifted = a - a.max(axis=-1, keepdims=True)
+        lp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        pert = lp if noise is None else lp + np.asarray(noise, dtype=a.dtype)
+        pert = pert * (1.0 / self.schedule.at(step))
+        s2 = pert - pert.max(axis=-1, keepdims=True)
+        soft = np.exp(s2) / np.exp(s2).sum(axis=-1, keepdims=True)
+        return tuple(int(k) for k in np.argmax(soft, axis=-1))
+
     def sample_gates(self, alpha: nn.Tensor, step: int,
-                     deterministic: bool = False) -> Tuple[nn.Tensor, nn.Tensor]:
+                     deterministic: bool = False,
+                     noise: Optional[np.ndarray] = None,
+                     inv_tau: Optional[nn.Tensor] = None,
+                     ) -> Tuple[nn.Tensor, nn.Tensor]:
         """Draw ``(P̂, P̄)`` for one search step.
 
         Note on Eq. (7): the paper writes ``softmax((P + G)/τ)`` with the
@@ -74,12 +107,20 @@ class GumbelSampler:
 
         ``deterministic=True`` suppresses the Gumbel noise (used by tests
         and by final-architecture extraction, where Eq. 4 is the argmax of
-        ``α`` itself).
+        ``α`` itself).  ``noise`` supplies a pre-drawn Gumbel sample (see
+        :meth:`draw_noise`) and ``inv_tau`` a ``1/τ`` tensor — step plans
+        use both to turn the stochastic parts of the chain into per-step
+        inputs while computing bit-identical values.
         """
-        tau = self.schedule.at(step)
         log_probs = F.log_softmax(alpha, axis=-1)
-        noise = None if deterministic else F.gumbel_noise(alpha.shape, self.rng)
-        relaxed = F.gumbel_softmax(log_probs, tau=tau, noise=noise, axis=-1)
+        if noise is None and not deterministic:
+            noise = self.draw_noise(alpha.shape)
+        if inv_tau is None:
+            relaxed = F.gumbel_softmax(log_probs, tau=self.schedule.at(step),
+                                       noise=noise, axis=-1)
+        else:
+            relaxed = F.gumbel_softmax(log_probs, noise=noise, axis=-1,
+                                       inv_tau=inv_tau)
         hard = F.hard_binarize_ste(relaxed, axis=-1)
         return relaxed, hard
 

@@ -109,6 +109,10 @@ class LightNASConfig:
     compute_dtype: str = "float64"
     #: when True, per-op wall time is profiled and journalled every epoch
     profile_ops: bool = False
+    #: compile supernet train/α/warmup steps into trace-once/replay-many
+    #: plans (bit-identical to the eager engine; ``False`` or the
+    #: ``repro.nn.plans(False)`` context falls back to eager execution)
+    use_plans: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("surrogate", "supernet"):
@@ -218,6 +222,11 @@ class LightNAS:
             # float64 (default) keeps seeded searches bit-identical
             with nn.dtype_scope(config.compute_dtype):
                 self.supernet = SuperNet(self.space, self.rng)
+        # one plan cache covers all step kinds; keys are prefixed with the
+        # step family ("w" / "alpha" / "warmup") plus the sampled path and
+        # batch shape, so Gumbel samples re-hit their compiled plan
+        self.programs = nn.StepProgram("lightnas")
+        self._use_plans = config.use_plans and config.mode == "supernet"
 
     def _default_predictor(self) -> MLPPredictor:
         latency_model = LatencyModel(self.space)
@@ -293,12 +302,14 @@ class LightNAS:
                 f"with the original configuration or start a fresh search"
             )
         try:
-            alpha.data = arrays["alpha"].copy()
+            # in-place copies: parameter arrays keep their identity so any
+            # compiled step plans stay bound to the live α / λ storage
+            np.copyto(alpha.data, arrays["alpha"])
             alpha_opt.load_state_arrays({
                 key[len("alpha_opt."):]: value
                 for key, value in arrays.items() if key.startswith("alpha_opt.")
             })
-            lam.param.data = arrays["lambda"].copy()
+            np.copyto(lam.param.data, arrays["lambda"])
             lam.history = [float(x) for x in arrays["lambda_history"]]
             restore_rng(self.rng, meta["rng_state"])
             if self.config.mode == "supernet":
@@ -434,6 +445,8 @@ class LightNAS:
             )
             if op_prof is not None:
                 epoch_fields["op_profile"] = op_prof.as_dict()
+            if self._use_plans:
+                epoch_fields["plan_stats"] = self.programs.stats()
             journal.epoch(**epoch_fields)
             if verbose:
                 print(
@@ -458,7 +471,7 @@ class LightNAS:
             num_search_steps=steps,
             metric_name=cfg.metric_name,
         )
-        journal.run_end(
+        end_fields = dict(
             final_predicted_metric=round(result.predicted_metric, 6),
             final_lambda=round(result.final_lambda, 6),
             constraint_error=round(result.constraint_error, 6),
@@ -467,6 +480,9 @@ class LightNAS:
             wall_time_s=round(time.perf_counter() - run_start, 6),
             phase_timers=timers.as_dict(),
         )
+        if self._use_plans:
+            end_fields["plan_stats"] = self.programs.stats()
+        journal.run_end(**end_fields)
         return result
 
     # ------------------------------------------------------------------
@@ -480,12 +496,32 @@ class LightNAS:
                 batch = self.task.sample_batch(self.task.train, cfg.batch_size)
                 with nn.no_grad():
                     _, gates_const = sampler.sample_gates(alpha.detach(), epoch)
-                logits = self.supernet.forward_single_path(
-                    nn.Tensor(batch.images), nn.Tensor(gates_const.data)
-                )
-                loss = F.cross_entropy(logits, batch.labels)
+                if not self._use_plans:
+                    logits = self.supernet.forward_single_path(
+                        nn.Tensor(batch.images), nn.Tensor(gates_const.data)
+                    )
+                    loss = F.cross_entropy(logits, batch.labels)
+                    w_opt.zero_grad()
+                    loss.backward()
+                    w_opt.step()
+                    continue
+                # hard gates are exactly one-hot, so the sampled path is the
+                # whole story: steps with the same selections replay the
+                # same compiled plan regardless of epoch / temperature
+                gates_arr = gates_const.data
+                sel = tuple(int(k) for k in np.argmax(gates_arr, axis=1))
+                targets = F.one_hot(batch.labels, self.space.macro.num_classes)
+
+                def fn(ts, gates_arr=gates_arr):
+                    logits = self.supernet.forward_single_path(
+                        ts["images"], nn.Tensor(gates_arr))
+                    return {"loss": F.cross_entropy(
+                        logits, targets=ts["targets"])}
+
                 w_opt.zero_grad()
-                loss.backward()
+                self.programs.run(
+                    ("w", sel, batch.images.shape),
+                    {"images": batch.images, "targets": targets}, fn)
                 w_opt.step()
 
     def _update_alpha_epoch(self, sampler: GumbelSampler, alpha: nn.Parameter,
@@ -501,20 +537,74 @@ class LightNAS:
         steps = 0
         loss_sum = 0.0
         for _ in range(cfg.steps_per_epoch):
-            _, gates = sampler.sample_gates(alpha, epoch)
-            valid_loss = self._validation_loss(gates)
-            loss_sum += float(valid_loss.data)
-            # The latency term uses the *deterministic* binarisation of α:
-            # Eq. (4) defines the architecture encoded by α as the per-layer
-            # argmax, so LAT(α) is the latency of that architecture, not of
-            # the Gumbel sample.  (With the sampled gates, λ's equilibrium
-            # pins the *expected* sampled latency to T while the derived
-            # argmax architecture systematically undershoots.)
-            _, det_gates = sampler.sample_gates(alpha, epoch, deterministic=True)
-            loss, _ = self.objective.loss(valid_loss, det_gates, lam.as_tensor())
-            alpha_opt.zero_grad()
-            lam.param.zero_grad()
-            loss.backward()
+            if not self._use_plans:
+                _, gates = sampler.sample_gates(alpha, epoch)
+                valid_loss = self._validation_loss(gates)
+                loss_sum += float(valid_loss.data)
+                # The latency term uses the *deterministic* binarisation of
+                # α: Eq. (4) defines the architecture encoded by α as the
+                # per-layer argmax, so LAT(α) is the latency of that
+                # architecture, not of the Gumbel sample.  (With the sampled
+                # gates, λ's equilibrium pins the *expected* sampled latency
+                # to T while the derived argmax architecture systematically
+                # undershoots.)
+                _, det_gates = sampler.sample_gates(alpha, epoch,
+                                                    deterministic=True)
+                loss, _ = self.objective.loss(valid_loss, det_gates,
+                                              lam.as_tensor())
+                alpha_opt.zero_grad()
+                lam.param.zero_grad()
+                loss.backward()
+                alpha_opt.step()
+                lam.ascend()
+                steps += 1
+                continue
+            # Plan path: the per-step randomness (Gumbel noise, validation
+            # batch) and the annealed 1/τ are hoisted out of the traced
+            # function and become plan *inputs*; the sampled single path —
+            # computed by the bit-exact raw-numpy signature helper — joins
+            # the plan key so a replay can never follow a stale selection.
+            # The deterministic-path STE (latency term) recomputes its
+            # argmax live on replay, so λ keeps seeing LAT(argmax α).
+            noise = sampler.draw_noise(alpha.shape)
+            sel = sampler.selection_signature(alpha.data, epoch, noise)
+            self.supernet.train(True)
+            with nn.dtype_scope(cfg.compute_dtype):
+                batch = self.task.sample_batch(self.task.valid,
+                                               cfg.batch_size)
+                targets = F.one_hot(batch.labels,
+                                    self.space.macro.num_classes)
+                inv_tau = 1.0 / sampler.schedule.at(epoch)
+
+                def fn(ts):
+                    _, gates = sampler.sample_gates(
+                        alpha, epoch, noise=ts["noise"],
+                        inv_tau=ts["inv_tau"])
+                    logits = self.supernet.forward_single_path(
+                        ts["images"], gates)
+                    valid_loss = F.cross_entropy(
+                        logits, targets=ts["targets"])
+                    _, det_gates = sampler.sample_gates(
+                        alpha, epoch, deterministic=True,
+                        inv_tau=ts["inv_tau"])
+                    loss, _ = self.objective.loss(valid_loss, det_gates,
+                                                  lam.as_tensor())
+                    return {"loss": loss, "valid_loss": valid_loss}
+
+                alpha_opt.zero_grad()
+                lam.param.zero_grad()
+                # eager lets stale gradients accumulate through α steps on
+                # the supernet weights and the frozen predictor (discarded
+                # unread); the plan's leaf slots want a clean start instead
+                self.supernet.zero_grad()
+                pred_model = getattr(self.predictor, "_model", None)
+                if pred_model is not None:  # analytic predictors are gradless
+                    pred_model.zero_grad()
+                out = self.programs.run(
+                    ("alpha", sel, batch.images.shape),
+                    {"images": batch.images, "targets": targets,
+                     "noise": noise, "inv_tau": inv_tau}, fn)
+            loss_sum += float(out["valid_loss"])
             alpha_opt.step()
             lam.ascend()
             steps += 1
@@ -539,6 +629,28 @@ class LightNAS:
         was_training = self.supernet.training
         self.supernet.eval()
         try:
+            if self._use_plans:
+                # forward-only plan (grad=False): BatchNorm eval statistics
+                # enter through standing views + replay effects, so the
+                # replayed eval tracks the training running stats exactly
+                gates_arr = gates.data
+                sel = tuple(int(k) for k in np.argmax(gates_arr, axis=1))
+                with nn.dtype_scope(cfg.compute_dtype):
+                    targets = F.one_hot(batch.labels,
+                                        self.space.macro.num_classes)
+
+                    def fn(ts, gates_arr=gates_arr):
+                        with nn.no_grad():
+                            logits = self.supernet.forward_single_path(
+                                ts["images"], nn.Tensor(gates_arr))
+                            return {"loss": F.cross_entropy(
+                                logits, targets=ts["targets"])}
+
+                    out = self.programs.run(
+                        ("warmup", sel, batch.images.shape),
+                        {"images": batch.images, "targets": targets}, fn,
+                        grad=False)
+                return float(out["loss"])
             # no_grad + tape-free ops: this eval allocates zero closures
             with nn.dtype_scope(cfg.compute_dtype), nn.no_grad():
                 logits = self.supernet.forward_single_path(

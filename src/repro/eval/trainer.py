@@ -70,13 +70,17 @@ def train_standalone(
     with_se_last: int = 0,
     seed: int = 0,
     compute_dtype: str = "float64",
+    use_plans: bool = True,
 ) -> TrainReport:
     """Train ``arch`` from scratch on ``task`` and report accuracies.
 
     ``compute_dtype="float32"`` opts the whole run into the engine's
     reduced-precision mode (same semantics as
     ``LightNASConfig.compute_dtype``); the float64 default keeps seeded
-    runs bit-identical to the historical engine.
+    runs bit-identical to the historical engine.  ``use_plans`` compiles
+    the fixed train step into a trace-once/replay-many plan (bit-identical
+    — Dropout masks and BatchNorm statistics advance through replay
+    effects exactly as the eager tape would).
     """
     rng = np.random.default_rng(seed)
     with nn.dtype_scope(compute_dtype):
@@ -89,17 +93,36 @@ def train_standalone(
             warmup_steps=min(warmup_epochs, epochs - 1),
             warmup_start_lr=base_lr / 5.0,
         )
+        # the architecture is fixed, so one plan per batch shape covers the
+        # whole run (the ragged last batch gets its own key)
+        program = nn.StepProgram("standalone", compile_threshold=1)
+        num_classes = space.macro.num_classes
+
+        def step_fn(ts):
+            logits = model(ts["images"])
+            return {"loss": F.cross_entropy(logits, targets=ts["targets"])}
+
         losses: List[float] = []
         for epoch in range(epochs):
             schedule.apply(optimizer, epoch)
             epoch_loss, batches = 0.0, 0
             for batch in task.batches(task.train, batch_size):
-                logits = model(nn.Tensor(batch.images))
-                loss = F.cross_entropy(logits, batch.labels)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
+                if use_plans:
+                    targets = F.one_hot(batch.labels, num_classes)
+                    optimizer.zero_grad()
+                    out = program.run(
+                        ("train", batch.images.shape),
+                        {"images": batch.images, "targets": targets},
+                        step_fn)
+                    optimizer.step()
+                    epoch_loss += float(out["loss"])
+                else:
+                    logits = model(nn.Tensor(batch.images))
+                    loss = F.cross_entropy(logits, batch.labels)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item()
                 batches += 1
             losses.append(epoch_loss / max(batches, 1))
         return TrainReport(

@@ -7,7 +7,7 @@ straight-through machinery), module containers, and the exact optimizers the
 paper's training recipes call for.
 """
 
-from . import functional, init, ops, optim, profiler
+from . import functional, init, ops, optim, plan, profiler
 from .modules import (
     BatchNorm2d,
     Conv2d,
@@ -25,6 +25,7 @@ from .modules import (
     SqueezeExcite,
 )
 from .optim import SGD, Adam, CosineSchedule, GradientAscent, Optimizer
+from .plan import BufferArena, PlanError, StepProgram, plans, plans_enabled
 from .tensor import (
     Tensor,
     dtype_scope,
@@ -32,13 +33,16 @@ from .tensor import (
     is_grad_enabled,
     no_grad,
     set_default_dtype,
+    tensor_allocations,
 )
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "functional", "ops", "optim", "init",
     "profiler", "set_default_dtype", "get_default_dtype", "dtype_scope",
+    "tensor_allocations",
     "Module", "Parameter", "Sequential", "Identity", "Linear", "Conv2d",
     "BatchNorm2d", "ReLU", "ReLU6", "Sigmoid", "Dropout", "GlobalAvgPool",
     "Flatten", "SqueezeExcite",
     "Optimizer", "SGD", "Adam", "GradientAscent", "CosineSchedule",
+    "plan", "PlanError", "BufferArena", "StepProgram", "plans", "plans_enabled",
 ]

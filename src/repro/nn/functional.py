@@ -36,15 +36,20 @@ __all__ = [
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically-stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    """Numerically-stable softmax along ``axis``.
+
+    The max-shift is the (non-differentiable) :func:`repro.nn.ops.amax`
+    primitive, so step plans recompute it from the live input on replay;
+    values and gradients are unchanged from the historical baked constant.
+    """
+    shifted = x - ops.amax(x, axis=axis, keepdims=True)
     exps = ops.exp(shifted)
     return exps / ops.sum_(exps, axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - ops.amax(x, axis=axis, keepdims=True)
     return shifted - ops.log(ops.sum_(ops.exp(shifted), axis=axis, keepdims=True))
 
 
@@ -60,16 +65,27 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     return out
 
 
-def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
-    """Mean negative log-likelihood given ``(N, C)`` log-probabilities."""
-    targets = one_hot(labels, log_probs.shape[-1])
-    picked = ops.sum_(log_probs * Tensor(targets), axis=-1)
+def nll_loss(log_probs: Tensor, labels: Optional[np.ndarray] = None, *,
+             targets: Optional[Tensor] = None) -> Tensor:
+    """Mean negative log-likelihood given ``(N, C)`` log-probabilities.
+
+    Pass either integer ``labels`` (one-hot encoded internally) or a
+    precomputed one-hot ``targets`` tensor — the latter lets compiled step
+    plans treat the targets as a per-step input instead of a baked
+    constant.  Both paths compute bit-identical losses.
+    """
+    if targets is None:
+        if labels is None:
+            raise ValueError("nll_loss needs labels or targets")
+        targets = Tensor(one_hot(labels, log_probs.shape[-1]))
+    picked = ops.sum_(log_probs * targets, axis=-1)
     return -ops.mean(picked)
 
 
-def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+def cross_entropy(logits: Tensor, labels: Optional[np.ndarray] = None, *,
+                  targets: Optional[Tensor] = None) -> Tensor:
     """Mean softmax cross-entropy over a batch of ``(N, C)`` logits."""
-    return nll_loss(log_softmax(logits, axis=-1), labels)
+    return nll_loss(log_softmax(logits, axis=-1), labels, targets=targets)
 
 
 def mse_loss(pred: Tensor, target) -> Tensor:
@@ -106,10 +122,11 @@ def gumbel_noise(shape, rng: np.random.Generator) -> np.ndarray:
 
 def gumbel_softmax(
     logits: Tensor,
-    tau: float,
+    tau: Optional[float] = None,
     rng: Optional[np.random.Generator] = None,
     noise: Optional[np.ndarray] = None,
     axis: int = -1,
+    inv_tau: Optional[Tensor] = None,
 ) -> Tensor:
     """Gumbel-Softmax relaxation (Eq. 7): ``softmax((logits + G)/τ)``.
 
@@ -123,16 +140,27 @@ def gumbel_softmax(
     rng / noise:
         Either a generator used to draw fresh Gumbel noise, or an explicit
         noise array (useful for deterministic tests).  ``noise=None`` with
-        ``rng=None`` disables the noise (plain tempered softmax).
+        ``rng=None`` disables the noise (plain tempered softmax).  ``noise``
+        may also be a :class:`Tensor`, which lets compiled step plans feed
+        the per-step draw as an input instead of a baked constant.
+    inv_tau:
+        Optional ``1/τ`` as a tensor; when given it replaces ``tau`` so step
+        plans can treat the annealed temperature as a per-step input.  The
+        product is bit-identical because ``x * inv_tau`` is exactly the
+        ``x * (1.0 / tau)`` the scalar path computes.
     """
-    if tau <= 0:
-        raise ValueError(f"gumbel_softmax temperature must be positive, got {tau}")
+    if inv_tau is None:
+        if tau is None or tau <= 0:
+            raise ValueError(f"gumbel_softmax temperature must be positive, got {tau}")
+        inv_tau = 1.0 / tau
     if noise is None:
         noise = gumbel_noise(logits.shape, rng) if rng is not None else np.zeros(logits.shape)
-    perturbed = (logits + Tensor(noise)) * (1.0 / tau)
+    noise_t = noise if isinstance(noise, Tensor) else Tensor(noise)
+    perturbed = (logits + noise_t) * inv_tau
     return softmax(perturbed, axis=axis)
 
 
+@ops._op("ste")
 def hard_binarize_ste(probs: Tensor, axis: int = -1) -> Tensor:
     """Eq. (9): one-hot argmax forward, straight-through identity backward.
 

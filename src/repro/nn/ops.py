@@ -44,13 +44,32 @@ from .tensor import Tensor, _GradMode, _unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
-    "matmul", "sum_", "mean", "clip", "relu", "relu6", "sigmoid", "tanh",
-    "reshape", "transpose", "concat", "pad2d", "conv2d", "avg_pool_global",
-    "maximum", "getitem", "stack", "dropout_mask", "fast_kernels",
+    "matmul", "sum_", "mean", "amax", "clip", "relu", "relu6", "sigmoid",
+    "tanh", "reshape", "transpose", "concat", "pad2d", "conv2d",
+    "avg_pool_global", "maximum", "getitem", "stack", "dropout_mask",
+    "fast_kernels", "record_replay_effect",
 ]
 
 #: dispatch depthwise/1×1 convolutions to the specialized kernels
 _FAST_KERNELS = True
+
+#: the step-plan tracer currently recording primitive ops, or None; set by
+#: :mod:`repro.nn.plan` around a traced step (checked per op call like the
+#: profiler, so tracing costs nothing when off)
+_TRACER = None
+
+
+def record_replay_effect(fn) -> None:
+    """Register a non-tape side effect with the active step-plan tracer.
+
+    Modules with step-to-step state that lives *outside* the tape —
+    BatchNorm running-statistic updates, Dropout mask redraws — call this
+    right after performing the effect eagerly.  When a plan trace is open
+    the effect closure is recorded at its position in the op stream and
+    re-executed on every replay; outside a trace this is a no-op.
+    """
+    if _TRACER is not None:
+        _TRACER.record_effect(fn)
 
 
 @contextmanager
@@ -83,13 +102,20 @@ def _op(kind: str):
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
             prof = profiler._active
-            if prof is None:
+            if prof is None and _TRACER is None:
                 return fn(*args, **kwargs)
-            start = time.perf_counter()
-            out = fn(*args, **kwargs)
-            prof.record(kind, time.perf_counter() - start)
-            if isinstance(out, Tensor) and out.name is None:
-                out.name = kind
+            if prof is None:
+                out = fn(*args, **kwargs)
+            else:
+                start = time.perf_counter()
+                out = fn(*args, **kwargs)
+                prof.record(kind, time.perf_counter() - start,
+                            nbytes=out.data.nbytes if isinstance(out, Tensor)
+                            else 0)
+                if isinstance(out, Tensor) and out.name is None:
+                    out.name = kind
+            if _TRACER is not None and isinstance(out, Tensor):
+                _TRACER.record(kind, args, kwargs, out)
             return out
 
         return wrapper
@@ -361,6 +387,19 @@ def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
         axes = axis if isinstance(axis, tuple) else (axis,)
         count = int(np.prod([a.data.shape[ax] for ax in axes]))
     return sum_(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+@_op("amax")
+def amax(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Non-differentiable elementwise maximum reduction.
+
+    Used for the softmax max-shift, which the engine has always treated as
+    a constant (no gradient flows through it — the shift cancels exactly in
+    the softmax quotient).  Making it a primitive op, rather than a baked
+    ``Tensor(x.data.max(...))`` leaf, lets the step-plan tracer recompute
+    the shift from the live input on every replay.
+    """
+    return Tensor(a.data.max(axis=axis, keepdims=keepdims))
 
 
 # ----------------------------------------------------------------------

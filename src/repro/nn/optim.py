@@ -62,6 +62,12 @@ class SGD(Optimizer):
     """SGD with classical momentum and L2 weight decay.
 
     ``v ← μ v + (g + wd·p)``; ``p ← p − lr·v``.
+
+    Updates are written **in place** through preallocated scratch buffers:
+    ``p.data`` stays the same array object across steps, which is what lets
+    compiled step plans (:mod:`repro.nn.plan`) bind parameter arrays once at
+    compile time.  Every ``out=`` sequence reproduces the historical
+    expression operand-for-operand, so trajectories are bit-identical.
     """
 
     def __init__(
@@ -75,17 +81,23 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v, s in zip(self.params, self._velocity, self._scratch):
             if p.grad is None:
                 continue
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                # g + wd·p  (scalar·array multiplies commute bitwise)
+                np.multiply(p.data, self.weight_decay, out=s)
+                np.add(g, s, out=s)
+                g = s
             v *= self.momentum
             v += g
-            p.data = p.data - self.lr * v
+            # p ← p − lr·v
+            np.multiply(v, self.lr, out=s)
+            np.subtract(p.data, s, out=p.data)
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
         return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
@@ -101,7 +113,13 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias correction and L2 weight decay."""
+    """Adam with bias correction and L2 weight decay.
+
+    Like :class:`SGD`, the update runs in place through two preallocated
+    scratch buffers per parameter (``p.data`` keeps its identity for the
+    step-plan compiler) and reproduces the historical expression
+    operand-for-operand, bit-identically.
+    """
 
     def __init__(
         self,
@@ -117,23 +135,40 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [(np.empty_like(p.data), np.empty_like(p.data))
+                         for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1 ** self._t
         bc2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, (s1, s2) in zip(self.params, self._m, self._v,
+                                     self._scratch):
             if p.grad is None:
                 continue
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=s1)
+                np.add(g, s1, out=s1)
+                g = s1
             m *= self.beta1
-            m += (1 - self.beta1) * g
+            np.multiply(g, 1 - self.beta1, out=s2)
+            m += s2
             v *= self.beta2
-            v += (1 - self.beta2) * g * g
-            p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            # (1−β2)·g·g evaluates left-to-right: ((1−β2)·g)·g
+            np.multiply(g, 1 - self.beta2, out=s2)
+            np.multiply(s2, g, out=s2)
+            v += s2
+            # p ← p − (lr·(m/bc1)) / (sqrt(v/bc2) + eps); g (possibly s1)
+            # is fully consumed above, so s1 is free to hold the divisor
+            np.divide(m, bc1, out=s2)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(v, bc2, out=s1)
+            np.sqrt(s1, out=s1)
+            np.add(s1, self.eps, out=s1)
+            np.divide(s2, s1, out=s2)
+            np.subtract(p.data, s2, out=p.data)
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
         state = {"t": np.array(self._t, dtype=np.int64)}
@@ -167,14 +202,18 @@ class GradientAscent(Optimizer):
     def __init__(self, params: Iterable[Tensor], lr: float, floor: Optional[float] = 0.0) -> None:
         super().__init__(params, lr)
         self.floor = floor
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p in self.params:
+        for p, s in zip(self.params, self._scratch):
             if p.grad is None:
                 continue
-            p.data = p.data + self.lr * p.grad
+            # p ← p + lr·grad, in place (bit-identical to the historical
+            # rebinding update; see SGD)
+            np.multiply(p.grad, self.lr, out=s)
+            np.add(p.data, s, out=p.data)
             if self.floor is not None:
-                p.data = np.maximum(p.data, self.floor)
+                np.maximum(p.data, self.floor, out=p.data)
 
 
 class CosineSchedule:

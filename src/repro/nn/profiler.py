@@ -35,20 +35,30 @@ class OpProfile:
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
+        self._bytes: Dict[str, int] = {}
 
-    def record(self, kind: str, elapsed_s: float) -> None:
+    def record(self, kind: str, elapsed_s: float, nbytes: int = 0) -> None:
         self._totals[kind] = self._totals.get(kind, 0.0) + elapsed_s
         self._counts[kind] = self._counts.get(kind, 0) + 1
+        if nbytes:
+            self._bytes[kind] = self._bytes.get(kind, 0) + nbytes
 
     def reset(self) -> None:
         self._totals.clear()
         self._counts.clear()
+        self._bytes.clear()
 
     def __len__(self) -> int:
         return len(self._totals)
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """``{kind: {"total_ms", "calls", "mean_ms"}}`` sorted by total."""
+        """``{kind: {"total_ms", "calls", "mean_ms", "alloc_bytes"}}``.
+
+        Sorted by descending total time.  ``alloc_bytes`` counts the bytes of
+        every freshly-materialised op output (eager steps allocate each
+        output anew; replayed step plans write into arena buffers instead
+        and record ~0 here).
+        """
         out: Dict[str, Dict[str, float]] = {}
         for kind in sorted(self._totals, key=self._totals.get, reverse=True):
             total_ms = self._totals[kind] * 1e3
@@ -57,6 +67,7 @@ class OpProfile:
                 "total_ms": round(total_ms, 4),
                 "calls": calls,
                 "mean_ms": round(total_ms / calls, 6),
+                "alloc_bytes": int(self._bytes.get(kind, 0)),
             }
         return out
 
@@ -93,4 +104,8 @@ def merge_profiles(acc: Dict[str, Dict[str, float]],
         slot["calls"] = int(slot["calls"]) + int(row.get("calls", 0))
         if slot["calls"]:
             slot["mean_ms"] = round(slot["total_ms"] / slot["calls"], 6)
+        # alloc_bytes arrived with the step-plan work; tolerate old payloads
+        new_bytes = int(row.get("alloc_bytes", 0))
+        if new_bytes or "alloc_bytes" in slot:
+            slot["alloc_bytes"] = int(slot.get("alloc_bytes", 0)) + new_bytes
     return acc

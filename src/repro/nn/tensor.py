@@ -42,7 +42,7 @@ ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 BackwardFn = Callable[[np.ndarray], List[Tuple["Tensor", np.ndarray]]]
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_default_dtype",
-           "get_default_dtype", "dtype_scope"]
+           "get_default_dtype", "dtype_scope", "tensor_allocations"]
 
 #: compute dtypes the engine supports (float64 is the bit-stable default)
 _SUPPORTED_DTYPES = {"float64": np.float64, "float32": np.float32}
@@ -102,6 +102,23 @@ class _GradMode:
     """Global switch mirroring ``torch.no_grad`` semantics."""
 
     enabled: bool = True
+
+
+class _AllocStats:
+    """Always-on engine allocation counter (one int increment per Tensor).
+
+    Every :class:`Tensor` construction — and therefore every tape node and
+    eager op output — bumps :attr:`tensors`.  The step-replay benchmark
+    reads the delta across a training step to show that compiled plans
+    (:mod:`repro.nn.plan`) construct ~zero tensors per replayed step.
+    """
+
+    tensors: int = 0
+
+
+def tensor_allocations() -> int:
+    """Total :class:`Tensor` objects constructed since process start."""
+    return _AllocStats.tensors
 
 
 class no_grad:
@@ -172,6 +189,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        _AllocStats.tensors += 1
         self.data: np.ndarray = np.asarray(data, dtype=_DtypeState.value)
         self.requires_grad: bool = bool(requires_grad) and _GradMode.enabled
         self.grad: Optional[np.ndarray] = None

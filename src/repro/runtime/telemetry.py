@@ -198,6 +198,7 @@ def summarize_runs(events: List[dict]) -> List[dict]:
                 "wall_time_s": None,
                 "phase_timers": {},
                 "op_profile": {},
+                "plan_stats": {},
             }
             summaries.append(current)
         elif current is None:
@@ -218,7 +219,7 @@ def summarize_runs(events: List[dict]) -> List[dict]:
                                                event.get("elapsed_s"))
             current["phase_timers"] = event.get("phase_timers", {})
             for key in ("final_predicted_metric", "final_lambda",
-                        "architecture"):
+                        "architecture", "plan_stats"):
                 if event.get(key) is not None:
                     current[key] = event[key]
     return summaries
