@@ -33,8 +33,10 @@ python benchmarks/bench_archive.py --cycles 12 --population 8 --check
 python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 
 # Step-compiler benchmark with acceptance thresholds (>= 2x replayed
-# w-step at the overhead-bound default batch, >= 10x alloc drop);
-# BENCH_step.json is kept as a CI artifact.
+# w-step at the overhead-bound default batch, >= 10x alloc drop, and
+# >= 1.5x *fused* replayed w-step at the BLAS-bound batch 16); the JSON
+# carries the fused-vs-unfused batch_scaling breakdown per step family
+# and is uploaded as the bench-step CI artifact.
 python benchmarks/bench_step_replay.py --check
 
 # End-to-end telemetry smoke: a traced tiny search whose journal is kept as

@@ -165,7 +165,8 @@ def cmd_search(args) -> int:
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
     overrides = {"compute_dtype": args.dtype, "profile_ops": args.profile_ops,
-                 "use_plans": not args.no_plans}
+                 "use_plans": not args.no_plans,
+                 "use_fusion": not args.no_fusion}
     if args.epochs:
         overrides["epochs"] = args.epochs
     try:
@@ -294,7 +295,8 @@ def cmd_sweep(args) -> int:
                                               metric_name=args.metric,
                                               compute_dtype=args.dtype,
                                               profile_ops=args.profile_ops,
-                                              use_plans=not args.no_plans)
+                                              use_plans=not args.no_plans,
+                                              use_fusion=not args.no_fusion)
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}")
             checkpoint_dir = None
@@ -463,6 +465,16 @@ def cmd_trace_summary(args) -> int:
                          f"{plans.get('replays', 0)} replays, "
                          f"{plans.get('eager_steps', 0)} eager, "
                          f"arena {plans.get('arena_bytes', 0) / 1e6:.1f} MB"])
+            rows.append(["fused kernels",
+                         f"{plans.get('kernels_fused', 0)} bound, "
+                         f"{plans.get('fusion_rejected', 0)} rejected by "
+                         f"bitwise probe"])
+            rows.append(["epoch plans",
+                         f"{plans.get('epoch_plans_compiled', 0)} compiled, "
+                         f"{plans.get('epoch_plan_hits', 0)} whole-epoch "
+                         f"replays, "
+                         f"{plans.get('epoch_plan_invalidations', 0)} "
+                         f"invalidated"])
         print(render_table(["field", "value"], rows,
                            title=f"run {index + 1}/{len(runs)}"))
         if args.ops:
@@ -627,6 +639,11 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable compiled step plans (trace-once/"
                              "replay-many execution); the eager engine "
                              "computes bit-identical results, just slower")
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="disable fused replay kernels and whole-epoch "
+                             "compilation (plans still replay unfused, "
+                             "bit-identically); use to isolate a suspected "
+                             "fusion issue")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

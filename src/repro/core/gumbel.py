@@ -67,6 +67,30 @@ class GumbelSampler:
         """
         return F.gumbel_noise(shape, self.rng)
 
+    def predraw_epoch(self, alpha: nn.Tensor, step: int,
+                      n_draws: int) -> Tuple[list, list]:
+        """Pre-draw one epoch's hard gates and path selections upfront.
+
+        Valid whenever ``alpha`` is frozen for the whole epoch (w-epochs:
+        the weight phase never updates α).  The sampler RNG advances by
+        exactly the same ``n_draws`` uniform calls the per-step in-line
+        draws would have made, and each gate matrix comes from the same
+        :meth:`sample_gates` chain a per-step draw runs — in the caller's
+        dtype scope — so the stream *and* the sampled paths are
+        bit-identical to drawing lazily.  Returns ``(gates, sels)`` with
+        ``gates`` a list of hard one-hot arrays and ``sels`` their
+        per-layer argmax tuples; epoch plans key on ``tuple(sels)``.
+        """
+        gates, sels = [], []
+        with nn.no_grad():
+            frozen = alpha.detach()
+            for _ in range(n_draws):
+                _, hard = self.sample_gates(frozen, step)
+                gates.append(hard.data)
+                sels.append(tuple(int(k) for k in
+                                  np.argmax(hard.data, axis=1)))
+        return gates, sels
+
     def selection_signature(self, alpha_data: np.ndarray, step: int,
                             noise: Optional[np.ndarray]) -> Tuple[int, ...]:
         """The per-layer argmax the sampled gates will select, computed with

@@ -25,7 +25,15 @@ from .modules import (
     SqueezeExcite,
 )
 from .optim import SGD, Adam, CosineSchedule, GradientAscent, Optimizer
-from .plan import BufferArena, PlanError, StepProgram, plans, plans_enabled
+from .plan import (
+    BufferArena,
+    PlanError,
+    StepProgram,
+    fusion,
+    fusion_enabled,
+    plans,
+    plans_enabled,
+)
 from .tensor import (
     Tensor,
     dtype_scope,
@@ -45,4 +53,5 @@ __all__ = [
     "Flatten", "SqueezeExcite",
     "Optimizer", "SGD", "Adam", "GradientAscent", "CosineSchedule",
     "plan", "PlanError", "BufferArena", "StepProgram", "plans", "plans_enabled",
+    "fusion", "fusion_enabled",
 ]

@@ -314,12 +314,24 @@ class BatchNorm2d(Module):
             var_t = ops.mean(centered * centered, axis=(0, 2, 3), keepdims=True)
             normed = centered / ops.sqrt(var_t + Tensor(self.eps))
         else:
-            mean = self.running_mean.reshape(1, -1, 1, 1)
+            # eval mode normalizes against persistent views of the live
+            # running stats: the constant-wrapper Tensors are cached so
+            # repeated traces of the same module guard one tensor identity
+            # instead of minting fresh wrappers per forward, and the plan
+            # fusion pass can recognize the conv → sub/div/mul/add chain
+            # (load_state_dict copies in place, keeping the views live)
             std_flat = getattr(self, "_eval_std", None)
+            cached = getattr(self, "_eval_consts", None)
             if (std_flat is None or std_flat.shape != self.running_var.shape
-                    or std_flat.dtype != self.running_var.dtype):
+                    or std_flat.dtype != self.running_var.dtype
+                    or cached is None
+                    or cached[0].data.base is not self.running_mean):
                 std_flat = np.empty_like(self.running_var)
                 object.__setattr__(self, "_eval_std", std_flat)
+                cached = (Tensor(self.running_mean.reshape(1, -1, 1, 1)),
+                          Tensor(std_flat.reshape(1, -1, 1, 1)))
+                object.__setattr__(self, "_eval_consts", cached)
+            mean_t, std_t = cached
 
             def _refresh_std(rv=self.running_var, out=std_flat, eps=self.eps):
                 np.add(rv, eps, out=out)
@@ -327,8 +339,7 @@ class BatchNorm2d(Module):
 
             _refresh_std()
             ops.record_replay_effect(_refresh_std)
-            std = std_flat.reshape(1, -1, 1, 1)
-            normed = (x - Tensor(mean)) / Tensor(std)
+            normed = (x - mean_t) / std_t
         gamma = ops.reshape(self.gamma, (1, self.num_features, 1, 1))
         beta = ops.reshape(self.beta, (1, self.num_features, 1, 1))
         return normed * gamma + beta

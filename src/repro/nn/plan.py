@@ -65,7 +65,7 @@ except ImportError:  # pragma: no cover - older/newer numpy layouts
     _c_einsum = None
 
 __all__ = ["PlanError", "BufferArena", "StepPlan", "StepProgram", "plans",
-           "plans_enabled"]
+           "plans_enabled", "fusion", "fusion_enabled"]
 
 
 class PlanError(RuntimeError):
@@ -105,6 +105,36 @@ def plans(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         _PlanMode.enabled = previous
+
+
+class _FusionMode:
+    enabled: bool = os.environ.get(
+        "REPRO_NN_FUSION", "1").strip().lower() not in (
+            "0", "false", "off", "no")
+
+
+def fusion_enabled() -> bool:
+    """Whether plan compilation runs the kernel-fusion pass."""
+    return _FusionMode.enabled
+
+
+@contextmanager
+def fusion(enabled: bool = True) -> Iterator[None]:
+    """Enable/disable the plan fusion pass inside the context.
+
+    ``fusion(False)`` keeps step plans but compiles them one traced op per
+    kernel — the escape hatch (also ``--no-fusion`` / ``REPRO_NN_FUSION=0``)
+    for isolating a suspected fusion bug or benchmarking the fusion win.
+    Fusion never changes replayed bits either way: every fused kernel is
+    gated by a build-time bitwise acceptance probe and rejected per-site on
+    any mismatch.
+    """
+    previous = _FusionMode.enabled
+    _FusionMode.enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _FusionMode.enabled = previous
 
 
 # ----------------------------------------------------------------------
@@ -527,6 +557,455 @@ def _bind_einsum(subscripts, operands, out, candidate=None):
     return lambda: np.einsum(subscripts, *operands, out=out, optimize=True)
 
 
+# ----------------------------------------------------------------------
+# Fusion pass
+#
+# Every fused kernel below is gated by a build-time bitwise acceptance
+# probe on the live traced buffers: a plan's shapes, strides and dtypes
+# are frozen, so numpy/BLAS kernel selection is frozen too, and a probe
+# that reproduces the traced contents bit-for-bit once will do so on
+# every replay.  A site that fails its probe is rejected (counted in
+# ``fusion_rejected``) and lowered the unfused way — fusion ON therefore
+# never changes replayed bits, only dispatch count.
+# ----------------------------------------------------------------------
+
+def _bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.dtype.kind == "f":
+        return np.array_equal(a, b, equal_nan=True)
+    return np.array_equal(a, b)
+
+
+def _probe_kernel(make, out, ref=None):
+    """Bind ``make(out)`` as a fused kernel iff it writes ``out`` bit-exactly.
+
+    ``out`` must hold its traced contents (the probe reference unless an
+    explicit ``ref`` is given); it is zeroed first so a kernel that misses
+    elements or silently writes a reshape copy fails the comparison, and
+    restored afterwards.  Returns the bound kernel or None on mismatch.
+    """
+    saved = out.copy()
+    if ref is None:
+        ref = saved
+    kernel = None
+    try:
+        out.fill(0)
+        try:
+            kernel = make(out)
+            kernel()
+            ok = _bits_equal(out, ref)
+        except Exception:
+            ok = False
+    finally:
+        np.copyto(out, saved)
+    return kernel if ok else None
+
+
+def _fuse_convdw_forward(rec, plan, dtype, cols, w_t, w_sq, o):
+    """Shared-cols depthwise forward: one packed copy feeds fwd *and* gw.
+
+    The depthwise contraction and its weight gradient both reduce over the
+    same strided im2col window view, and the frozen-bmm lowering of each
+    pays a separate strided pack per replay.  Packing once into a
+    ``(c, k·k, n·oh·ow)`` workspace turns the forward into a single batched
+    matmul and lets the backward's weight-gradient matmul reuse the copy
+    (see :func:`_fuse_convdw_gw`), halving the dominant memory traffic.
+    """
+    n, c, kh, kw, oh, ow = cols.shape
+    kk, npq = kh * kw, n * oh * ow
+    w3 = w_sq.reshape(c, 1, kk)
+    if not np.shares_memory(w3, w_t.data):
+        return None
+    colsB = plan.request((c, kk, npq), dtype)
+    colsB_view = colsB.reshape(c, kh, kw, n, oh, ow)
+    cols_src = cols.transpose(1, 2, 3, 0, 4, 5)
+    mm = plan.request((c, 1, npq), dtype)
+    mm_view = mm.reshape(c, n, oh, ow)
+    dst_t = o.transpose(1, 0, 2, 3)
+
+    def make(_dst):
+        def kernel():
+            np.copyto(colsB_view, cols_src)
+            np.matmul(w3, colsB, out=mm)
+            np.copyto(dst_t, mm_view)
+        return kernel
+    kernel = _probe_kernel(make, o)
+    if kernel is None:
+        plan.fusion_rejected += 1
+        return None
+    plan.fused_kernels += 1
+    kernel._label = "fused:conv2d_dw.cols"
+    # the probe run above left the traced cols in colsB, so the backward
+    # builder's own probe compares on real data
+    plan._conv_ws[id(rec)] = {"colsB": colsB, "dims": (n, c, kh, kw, oh, ow)}
+    return kernel
+
+
+def _fuse_convdw_gw(plan, dtype, rec, g, flat):
+    """Depthwise weight gradient off the forward's shared cols copy.
+
+    Only offered when :func:`_fuse_convdw_forward` was accepted for the
+    same record: that kernel refreshes ``colsB`` at the top of every
+    replay's forward schedule, which always runs before the backward.
+    """
+    ws = plan._conv_ws.get(id(rec))
+    if ws is None or "colsB" not in ws:
+        return None
+    colsB = ws["colsB"]
+    n, c, kh, kw, oh, ow = ws["dims"]
+    kk, npq = kh * kw, n * oh * ow
+    gw3 = flat.reshape(c, kk, 1)
+    if not np.shares_memory(gw3, flat):
+        return None
+    gT = plan.request((c, npq, 1), dtype)
+    gT_view = gT.reshape(c, n, oh, ow)
+    g_src = g.transpose(1, 0, 2, 3)
+
+    def make(dst):
+        d3 = dst.reshape(c, kk, 1)
+
+        def kernel():
+            np.copyto(gT_view, g_src)
+            np.matmul(colsB, gT, out=d3)
+        return kernel
+    kernel = _probe_kernel(make, flat)
+    if kernel is None:
+        plan.fusion_rejected += 1
+        return None
+    plan.fused_kernels += 1
+    kernel._label = "fused:conv2d_dw.gw"
+    return kernel
+
+
+def _fuse_convdw_gx_clip(plan, dtype, b, g, B, w_sq, s, kh, kw, oh, ow):
+    """Depthwise input-gradient tap loop clipped to the pad interior.
+
+    When the conv input came from a ``pad2d`` consumed by nothing else
+    (and is not a plan output), the pad's backward is a pure interior
+    view of ``B`` — the border writes of the eager tap scatter are dead.
+    The fused kernel zeroes just the interior and runs the same ascending
+    (i, j) multiply/accumulate with every tap clipped to the rows and
+    columns that land inside it: per interior element the contributing
+    taps, their order, and their values are identical to eager (the probe
+    checks the interior bits), while the dead border keeps its traced
+    contents and is never read.
+    """
+    x_t = b["x"]
+    pad_rec = plan._produced_by.get(id(x_t))
+    if pad_rec is None or pad_rec.kind != "pad2d":
+        return None
+    if len(plan._consumers.get(id(x_t), ())) != 1:
+        return None
+    if id(x_t) in plan._output_ids:
+        return None
+    p = int(_bind(pad_rec)["padding"])
+    if p <= 0:
+        return None
+    h, w = B.shape[2:]
+    interior = B[:, :, p:h - p, p:w - p]
+    t = plan.request(g.shape, dtype)
+    steps = []
+    for i in range(kh):
+        p_lo = max(0, -((i - p) // s))  # ceil((p - i) / s)
+        p_hi = min(oh - 1, (h - 1 - p - i) // s)
+        if p_lo > p_hi:
+            continue
+        for j in range(kw):
+            q_lo = max(0, -((j - p) // s))
+            q_hi = min(ow - 1, (w - 1 - p - j) // s)
+            if q_lo > q_hi:
+                continue
+            g_clip = g[:, :, p_lo:p_hi + 1, q_lo:q_hi + 1]
+            dest = B[:, :, i + s * p_lo:i + s * p_hi + 1:s,
+                     j + s * q_lo:j + s * q_hi + 1:s]
+            wv = w_sq[None, :, i, j, None, None]
+            tc = t[:, :, :p_hi - p_lo + 1, :q_hi - q_lo + 1]
+            steps.append((g_clip, wv, dest, tc))
+
+    def kernel():
+        interior.fill(0.0)
+        for g_clip, wv, dest, tc in steps:
+            np.multiply(g_clip, wv, out=tc)
+            np.add(dest, tc, out=dest)
+
+    saved = B.copy()
+    try:
+        kernel()
+        ok = _bits_equal(interior, saved[:, :, p:h - p, p:w - p])
+    except Exception:
+        ok = False
+    finally:
+        np.copyto(B, saved)
+    if not ok:
+        plan.fusion_rejected += 1
+        return None
+    plan.fused_kernels += 1
+    kernel._label = "fused:conv2d_dw.gx-clip"
+    return kernel
+
+
+def _sole_consumer(plan, t, kind):
+    """The single record consuming tensor ``t`` as its first operand, if it
+    has exactly one consumer of the given kind and is not a plan output."""
+    if id(t) in plan._output_ids:
+        return None
+    recs = plan._consumers.get(id(t), ())
+    if len(recs) != 1 or recs[0].kind != kind:
+        return None
+    r = recs[0]
+    bound = _bind(r)
+    if bound.get("a") is not t:
+        return None
+    return r, bound
+
+
+def _make_folded_conv_bn(plan, rec, bb, out, affines):
+    mean4, std4, gamma4, beta4 = affines
+    dtype = out.dtype
+    x_t, w_t = bb["x"], bb["weight"]
+    s = bb["stride"]
+    c_out = mean4.shape[1]
+    scale4 = plan.request((1, c_out, 1, 1), dtype)
+    shift4 = plan.request((1, c_out, 1, 1), dtype)
+    s_flat = scale4.reshape(c_out)
+    if rec.kind == "conv2d_1x1":
+        xd = x_t.data[:, :, ::s, ::s] if s > 1 else x_t.data
+        w_mat = w_t.data[:, :, 0, 0]
+        wf = plan.request(w_mat.shape, dtype)
+        s_col = s_flat[:, None]
+
+        def make(dst):
+            def kernel():
+                np.divide(gamma4, std4, out=scale4)
+                np.multiply(w_mat, s_col, out=wf)
+                np.einsum("nchw,oc->nohw", xd, wf, out=dst, optimize=True)
+                np.multiply(scale4, mean4, out=shift4)
+                np.subtract(beta4, shift4, out=shift4)
+                np.add(dst, shift4, out=dst)
+            return kernel
+    else:  # conv2d_dw
+        kh, kw = w_t.data.shape[2:]
+        cols = ops._im2col(x_t.data, kh, kw, s)
+        w_sq = w_t.data[:, 0]
+        wf = plan.request(w_sq.shape, dtype)
+        s_cube = s_flat[:, None, None]
+
+        def make(dst):
+            def kernel():
+                np.divide(gamma4, std4, out=scale4)
+                np.multiply(w_sq, s_cube, out=wf)
+                np.einsum("ncijpq,cij->ncpq", cols, wf, out=dst,
+                          optimize=True)
+                np.multiply(scale4, mean4, out=shift4)
+                np.subtract(beta4, shift4, out=shift4)
+                np.add(dst, shift4, out=dst)
+            return kernel
+    return _probe_kernel(make, out)
+
+
+def _fold_conv_bn_sites(plan, op_records, replaced):
+    """Fold eval-mode BatchNorm scale/shift into the preceding conv.
+
+    Matches the exact chain BatchNorm2d emits in eval mode —
+    ``conv → sub(mean) → div(std) → mul(γ) → add(β)`` with per-channel
+    ``(1, C, 1, 1)`` affine operands — and replaces the five kernels with
+    one that refolds ``W·(γ/std)`` and ``β − γ·mean/std`` from the *live*
+    BN buffers on every replay (so ``load_state_dict`` updates keep
+    working, and a ``.data`` rebind still trips the guards).  Only
+    attempted on grad-free plans: a grad plan's backward closures read the
+    intermediate buffers the fold would leave stale, and training-mode BN
+    depends on batch statistics that do not exist before the conv runs —
+    those plans keep per-op lowering, which is what preserves
+    training-mode bit-identity and running-stat updates.  The fold
+    changes the order of float multiplications, so the bitwise probe
+    rejects it wherever distributivity does not hold exactly — honest
+    rejections counted per site.
+    """
+    for rec in op_records:
+        if rec.kind not in ("conv2d_1x1", "conv2d_dw"):
+            continue
+        if id(rec) in replaced:
+            continue
+        bb = _bind(rec)
+        if bb["bias"] is not None:
+            continue
+        chain = []
+        t = rec.out
+        for kind in ("sub", "div", "mul", "add"):
+            nxt = _sole_consumer(plan, t, kind)
+            if nxt is None:
+                chain = None
+                break
+            r, rb = nxt
+            other = rb.get("b")
+            if not isinstance(other, Tensor):
+                chain = None
+                break
+            chain.append((r, other))
+            t = r.out
+        if not chain:
+            continue
+        c_out = rec.out.data.shape[1]
+        affines = tuple(other.data for _, other in chain)
+        if any(a.shape != (1, c_out, 1, 1) for a in affines):
+            continue
+        add_r = chain[-1][0]
+        kernel = _make_folded_conv_bn(plan, rec, bb, add_r.out.data, affines)
+        if kernel is None:
+            plan.fusion_rejected += 1
+            continue
+        plan.fused_kernels += 1
+        kernel._label = f"fused:{rec.kind}+bn"
+        replaced[id(rec)] = None
+        for r, _ in chain:
+            replaced[id(r)] = None
+        replaced[id(add_r)] = kernel
+
+
+def _stack_conv1x1_siblings(plan, op_records, replaced):
+    """Batch sibling 1×1 convs on one input into a single stacked matmul.
+
+    Multi-path Gumbel evaluation (``forward_weighted``) dispatches every
+    candidate block on the same layer input; their expansion convs are K
+    independent ``(o, c) @ (n, c, pix)`` contractions.  Stacking the live
+    weights into a ``(K, 1, o, c)`` workspace turns them into one batched
+    matmul — per-slice GEMMs identical to the unfused lowering, so the
+    probe usually accepts.  Emitted at the earliest sibling's position
+    (the shared input is ready there; later consumers only see their
+    output earlier, never a stale value).
+    """
+    groups: Dict[tuple, List[_Record]] = {}
+    binds: Dict[int, dict] = {}
+    for rec in op_records:
+        if rec.kind != "conv2d_1x1" or id(rec) in replaced:
+            continue
+        bb = _bind(rec)
+        if bb["bias"] is not None or bb["stride"] != 1:
+            continue
+        if not bb["x"].data.flags.c_contiguous:
+            continue
+        groups.setdefault((id(bb["x"]), bb["weight"].data.shape),
+                          []).append(rec)
+        binds[id(rec)] = bb
+    for recs in groups.values():
+        if len(recs) < 2:
+            continue
+        k_n = len(recs)
+        bb0 = binds[id(recs[0])]
+        xd = bb0["x"].data
+        n, c = xd.shape[:2]
+        o_ch = bb0["weight"].data.shape[0]
+        pix = xd.shape[2] * xd.shape[3]
+        x3 = xd.reshape(n, c, pix)
+        outs = [r.out.data for r in recs]
+        wsrcs = [binds[id(r)]["weight"].data[:, :, 0, 0] for r in recs]
+        wstack = plan.request((k_n, 1, o_ch, c), xd.dtype)
+        mm = plan.request((k_n, n, o_ch, pix), xd.dtype)
+
+        def kernel(wsrcs=wsrcs, wstack=wstack, x3=x3, mm=mm, outs=outs):
+            for i, wsrc in enumerate(wsrcs):
+                np.copyto(wstack[i, 0], wsrc)
+            np.matmul(wstack, x3, out=mm)
+            # copyto through a reshaped *source* view: mm[i] is contiguous
+            # so the reshape is free, while the destination may keep the
+            # einsum's channel-major layout (strided copy is fine)
+            for o, m in zip(outs, mm):
+                np.copyto(o, m.reshape(o.shape))
+
+        saved = [o.copy() for o in outs]
+        try:
+            for o in outs:
+                o.fill(0)
+            kernel()
+            ok = all(_bits_equal(o, sv) for o, sv in zip(outs, saved))
+        except Exception:
+            ok = False
+        finally:
+            for o, sv in zip(outs, saved):
+                np.copyto(o, sv)
+        if not ok:
+            plan.fusion_rejected += 1
+            continue
+        plan.fused_kernels += k_n
+        kernel._label = f"fused:conv2d_1x1.x{k_n}"
+        replaced[id(recs[0])] = kernel
+        for r in recs[1:]:
+            replaced[id(r)] = None
+
+
+def _plan_fusions(plan, op_records):
+    """Record-level fusion decisions, made before per-op lowering.
+
+    Returns ``{id(record): kernel_or_None}`` — a record mapped to a kernel
+    is replaced by it; a record mapped to None is subsumed by a fused
+    kernel emitted at another record's position.
+    """
+    replaced: Dict[int, Optional[Callable[[], None]]] = {}
+    if not plan.grad:
+        _fold_conv_bn_sites(plan, op_records, replaced)
+    _stack_conv1x1_siblings(plan, op_records, replaced)
+    return replaced
+
+
+def _pack_schedule(plan, sched, metas):
+    """Merge adjacent elementwise kernels into composite dispatches.
+
+    ``metas[i]`` is ``(kind, outs)`` for a packable kernel — one whose
+    recomputation at the same inputs is a pure function writing exactly
+    ``outs`` — or None for a barrier (convs, reductions, effects, STE
+    guards).  Runs of ≥2 packable kernels are probed by re-executing them
+    once at build time and comparing every written buffer against its
+    traced contents; order inside a composite is unchanged, so this can
+    only fail if a kernel is not actually idempotent — in which case it
+    is rejected and the run stays unfused.
+    """
+    packed: List[Tuple[str, Callable[[], None]]] = []
+    i, n = 0, len(sched)
+    while i < n:
+        j = i
+        while j < n and metas[j] is not None:
+            j += 1
+        if j - i < 2:
+            packed.append(sched[i])
+            i = max(j, i + 1)
+            continue
+        run = sched[i:j]
+        outs: List[np.ndarray] = []
+        seen: set = set()
+        for m in metas[i:j]:
+            for arr in m[1]:
+                if id(arr) not in seen:
+                    seen.add(id(arr))
+                    outs.append(arr)
+        kernels = tuple(k for _, k in run)
+        saved = [arr.copy() for arr in outs]
+        try:
+            for k in kernels:
+                k()
+            ok = all(_bits_equal(arr, sv) for arr, sv in zip(outs, saved))
+        except Exception:
+            ok = False
+        finally:
+            for arr, sv in zip(outs, saved):
+                np.copyto(arr, sv)
+        if not ok:
+            plan.fusion_rejected += 1
+            packed.extend(run)
+            i = j
+            continue
+        kinds = [m[0] for m in metas[i:j]]
+        label = "fused:" + "+".join(kinds[:3])
+        if len(kinds) > 3:
+            label += f"(+{len(kinds) - 3})"
+
+        def composite(kernels=kernels):
+            for k in kernels:
+                k()
+        packed.append((label, composite))
+        plan.fused_kernels += len(kernels)
+        i = j
+    return packed
+
+
 def _build_conv1x1_forward(rec, b, plan, dtype):
     o = rec.out.data
     x_t, w_t, bias_t = b["x"], b["weight"], b["bias"]
@@ -562,6 +1041,10 @@ def _build_convdw_forward(rec, b, plan, dtype):
     cols = ops._im2col(x_t.data, kh, kw, s)  # standing strided view
     w_sq = w_t.data[:, 0]
     if bias_t is None:
+        if _FusionMode.enabled:
+            fused = _fuse_convdw_forward(rec, plan, dtype, cols, w_t, w_sq, o)
+            if fused is not None:
+                return fused
         return _bind_einsum("ncijpq,cij->ncpq", (cols, w_sq), o)
     scratch = plan.request(o.shape, dtype)
     bias4 = bias_t.data.reshape(1, -1, 1, 1)
@@ -1000,19 +1483,27 @@ def _bwd_convdw(b, rec, g, pairs, writes, plan, dtype):
                     for t, dest in pieces:
                         np.add(dest, t, out=dest)
             else:
-                t = plan.request(g.shape, dtype)
-                wtaps = [w_sq[None, :, i, j, None, None]
-                         for i in range(kh) for j in range(kw)]
+                kernel = None
+                if _FusionMode.enabled:
+                    kernel = _fuse_convdw_gx_clip(
+                        plan, dtype, b, g, B, w_sq, s, kh, kw, oh, ow)
+                if kernel is None:
+                    t = plan.request(g.shape, dtype)
+                    wtaps = [w_sq[None, :, i, j, None, None]
+                             for i in range(kh) for j in range(kw)]
 
-                def kernel(B=B, t=t):
-                    B.fill(0.0)
-                    for wv, dest in zip(wtaps, dests):
-                        np.multiply(g, wv, out=t)
-                        np.add(dest, t, out=dest)
+                    def kernel(B=B, t=t):
+                        B.fill(0.0)
+                        for wv, dest in zip(wtaps, dests):
+                            np.multiply(g, wv, out=t)
+                            np.add(dest, t, out=dest)
             kernels.append(kernel)
         elif parent is w_t:
             flat = B.reshape(c, kh, kw)
-            kernels.append(_bind_einsum("ncpq,ncijpq->cij", (g, cols), flat))
+            fused = (_fuse_convdw_gw(plan, dtype, rec, g, flat)
+                     if _FusionMode.enabled else None)
+            kernels.append(fused if fused is not None else _bind_einsum(
+                "ncpq,ncijpq->cij", (g, cols), flat))
         else:
             kernels.append(lambda B=B: np.sum(g, axis=(0, 2, 3), out=B))
     return kernels
@@ -1136,8 +1627,18 @@ class StepPlan:
         self.dtype = dtype
         self.grad = grad
         self.replays = 0
+        self.fused_kernels = 0
+        self.fusion_rejected = 0
+        self.released = False
         self._fwd: List[Tuple[str, Callable[[], None]]] = []
         self._bwd: List[Tuple[str, Callable[[], None]]] = []
+        #: per-kernel (kind, written-buffers) for the chain packer; None
+        #: entries are fusion barriers (parallel to _fwd/_bwd)
+        self._fwd_meta: List[Optional[tuple]] = []
+        self._bwd_meta: List[Optional[tuple]] = []
+        self._consumers: Dict[int, List[_Record]] = {}
+        self._produced_by: Dict[int, _Record] = {}
+        self._output_ids: set = set()
         self._leaf_assigns: List[Tuple[Tensor, np.ndarray]] = []
         self._inputs: Dict[str, np.ndarray] = {}
         self._input_tensors: Dict[str, Tensor] = {}
@@ -1166,6 +1667,7 @@ class StepPlan:
 
     def release(self) -> None:
         """Return workspaces to the arena pool and drop adopted accounting."""
+        self.released = True
         for arr in self._scratch:
             self.arena.release(arr)
         self._scratch = []
@@ -1198,10 +1700,26 @@ class StepPlan:
                     if rec_id is not None:
                         self._guarded_ste.add(rec_id)
 
+        # structural maps for the fusion pass: who consumes each traced
+        # tensor, and which record produced it
+        op_records: List[_Record] = []
+        for tag, entry in tracer.entries:
+            if tag != "op":
+                continue
+            op_records.append(entry)
+            for t in _tensor_operands(entry):
+                self._consumers.setdefault(id(t), []).append(entry)
+            self._produced_by[id(entry.out)] = entry
+
+        replaced: Dict[int, Optional[Callable[[], None]]] = {}
+        if _FusionMode.enabled:
+            replaced = _plan_fusions(self, op_records)
+
         guard_seen: set = set()
         for tag, entry in tracer.entries:
             if tag == "effect":
                 self._fwd.append(("plan.effect", entry))
+                self._fwd_meta.append(None)
                 continue
             rec = entry
             self._records.append(rec)
@@ -1216,11 +1734,19 @@ class StepPlan:
                 if id(t) not in guard_seen:
                     guard_seen.add(id(t))
                     self._guards.append((t, t.data))
-            kernel = _build_forward(rec, self, self.dtype)
+            if id(rec) in replaced:
+                kernel = replaced[id(rec)]
+            else:
+                kernel = _build_forward(rec, self, self.dtype)
             self.adopt(rec.out.data)
             produced.add(id(rec.out))
             if kernel is not None:
-                self._fwd.append((f"{rec.kind}.replay", kernel))
+                self._fwd.append((getattr(kernel, "_label",
+                                          f"{rec.kind}.replay"), kernel))
+                self._fwd_meta.append(
+                    (rec.kind, (rec.out.data,))
+                    if rec.kind in ops.ELEMENTWISE_KINDS
+                    and id(rec) not in replaced else None)
 
     def _compile_backward(self, loss: Optional[Tensor],
                           records_by_out: Dict[int, _Record]) -> None:
@@ -1284,12 +1810,14 @@ class StepPlan:
                         np.add(partial, c, out=partial)
                     np.add(partial, seq[-1], out=final)
                 self._bwd.append(("accumulate.replay", accumulate))
+                self._bwd_meta.append(("acc", (node_grad,)))
             elif arrival[0] is not node_grad:
                 # np.asarray had to cast-copy the single contribution
                 self.adopt(node_grad)
                 self._bwd.append(("accumulate.replay",
                                   lambda s=arrival[0], d=node_grad:
                                   np.copyto(d, s)))
+                self._bwd_meta.append(("acc", (node_grad,)))
             if node._backward is None:
                 if node.grad is not None:
                     raise PlanError(
@@ -1303,6 +1831,7 @@ class StepPlan:
                 self._bwd.append(("leaf.replay",
                                   lambda d=leaf_grad, s=node_grad:
                                   np.copyto(d, s)))
+                self._bwd_meta.append(("leaf", (leaf_grad,)))
                 self._leaf_assigns.append((node, leaf_grad))
                 continue
             rec = records_by_out.get(id(node))
@@ -1349,8 +1878,12 @@ class StepPlan:
                             np.copyto(dst, ps[i][1])
                     kernels = [generic]
                 label = f"{rec.kind}.bwd.replay"
+                meta = ((f"{rec.kind}.bwd", tuple(arr for _, arr in writes))
+                        if rec.kind in ops.ELEMENTWISE_KINDS else None)
                 for kernel in kernels:
-                    self._bwd.append((label, kernel))
+                    self._bwd.append((getattr(kernel, "_label", label),
+                                      kernel))
+                    self._bwd_meta.append(meta)
             for parent, contribution in pairs:
                 if not parent.requires_grad:
                     continue
@@ -1362,6 +1895,14 @@ class StepPlan:
                     grads[key] = np.asarray(contribution,
                                             dtype=parent.data.dtype)
                     arrivals[key] = [contribution]
+
+    def _pack_elementwise(self) -> None:
+        """Merge adjacent elementwise kernels after lowering (probe-gated)."""
+        self._fwd = _pack_schedule(self, self._fwd, self._fwd_meta)
+        if self.grad:
+            self._bwd = _pack_schedule(self, self._bwd, self._bwd_meta)
+        self._fwd_meta = []
+        self._bwd_meta = []
 
     # -- execution ----------------------------------------------------
     def replay(self, inputs: Dict[str, np.ndarray],
@@ -1449,10 +1990,20 @@ class StepProgram:
         self.arena = BufferArena()
         self._plans: "OrderedDict[tuple, StepPlan]" = OrderedDict()
         self._seen: "OrderedDict[tuple, int]" = OrderedDict()
+        self._epoch_plans: "OrderedDict[tuple, Any]" = OrderedDict()
         self.plans_compiled = 0
         self.replays = 0
         self.eager_steps = 0
         self.evictions = 0
+        self.kernels_fused = 0
+        self.fusion_rejected = 0
+        self.epoch_plans_compiled = 0
+        self.epoch_plan_hits = 0
+        self.epoch_plan_invalidations = 0
+        #: what the last run() did ("replay" | "compile" | "eager") and the
+        #: plan it used — epoch-plan assembly reads these
+        self.last_event: str = "eager"
+        self.last_plan: Optional[StepPlan] = None
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -1467,30 +2018,61 @@ class StepProgram:
             "arena_hits": self.arena.hits,
             "arena_misses": self.arena.misses,
             "arena_bytes": self.arena.total_bytes(),
+            "kernels_fused": self.kernels_fused,
+            "fusion_rejected": self.fusion_rejected,
+            "epoch_plans_compiled": self.epoch_plans_compiled,
+            "epoch_plan_hits": self.epoch_plan_hits,
+            "epoch_plan_invalidations": self.epoch_plan_invalidations,
         }
 
     def clear(self) -> None:
         """Drop every cached plan (workspaces return to the arena pool)."""
+        self._epoch_plans.clear()
         while self._plans:
             _, plan = self._plans.popitem(last=False)
             plan.release()
             self.evictions += 1
 
+    # -- epoch plans ---------------------------------------------------
+    # Whole-epoch schedules (see core.lightnas._EpochPlan) are keyed here
+    # so they share the LRU budget and the journal/trace-summary counters
+    # with the per-step plans they chain.
+    def epoch_plan(self, key):
+        """The cached epoch plan for ``key``, or None (LRU-refreshing)."""
+        ep = self._epoch_plans.get(key)
+        if ep is not None:
+            self._epoch_plans.move_to_end(key)
+        return ep
+
+    def store_epoch_plan(self, key, ep) -> None:
+        self._epoch_plans[key] = ep
+        self.epoch_plans_compiled += 1
+        while len(self._epoch_plans) > self.capacity:
+            self._epoch_plans.popitem(last=False)
+
+    def invalidate_epoch_plan(self, key) -> None:
+        """Drop one epoch plan (baked path drifted / step plan evicted)."""
+        self._epoch_plans.pop(key, None)
+        self.epoch_plan_invalidations += 1
+
     def run(self, key, inputs: Dict[str, np.ndarray], fn,
             grad: bool = True) -> Dict[str, np.ndarray]:
         if not _PlanMode.enabled:
             self.eager_steps += 1
+            self.last_event, self.last_plan = "eager", None
             return self._eager_step(inputs, fn, grad)
         if ops._TRACER is not None:
             raise PlanError("StepProgram.run cannot nest inside an active "
                             "step trace")
         dtype = get_default_dtype()
-        full_key = (key, dtype.name, bool(ops._FAST_KERNELS), bool(grad))
+        full_key = (key, dtype.name, bool(ops._FAST_KERNELS), bool(grad),
+                    _FusionMode.enabled)
         plan = self._plans.get(full_key)
         if plan is not None:
             self._plans.move_to_end(full_key)
             result = plan.replay(inputs, profiler.active_profile())
             self.replays += 1
+            self.last_event, self.last_plan = "replay", plan
             return result
         count = self._seen.get(full_key, 0) + 1
         self._seen[full_key] = count
@@ -1499,10 +2081,14 @@ class StepProgram:
             self._seen.popitem(last=False)
         if count < self.compile_threshold:
             self.eager_steps += 1
+            self.last_event, self.last_plan = "eager", None
             return self._eager_step(inputs, fn, grad)
         plan, result = self._trace(inputs, fn, grad, dtype)
         self._plans[full_key] = plan
         self.plans_compiled += 1
+        self.kernels_fused += plan.fused_kernels
+        self.fusion_rejected += plan.fusion_rejected
+        self.last_event, self.last_plan = "compile", plan
         while len(self._plans) > self.capacity:
             _, evicted = self._plans.popitem(last=False)
             evicted.release()
@@ -1534,10 +2120,13 @@ class StepProgram:
         for name, t in outs.items():
             if not isinstance(t, Tensor):
                 raise PlanError(f"step fn output {name!r} is not a Tensor")
+        plan._output_ids = {id(t) for t in outs.values()}
         plan._compile_forward(tracer)
         if grad:
             records_by_out = {id(rec.out): rec for rec in plan._records}
             plan._compile_backward(outs.get("loss"), records_by_out)
+        if _FusionMode.enabled:
+            plan._pack_elementwise()
         for name, t in outs.items():
             plan._outputs[name] = t.data
             plan.adopt(t.data)

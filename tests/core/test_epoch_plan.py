@@ -1,0 +1,183 @@
+"""Whole-epoch compiled schedules: assembly, hits, drift, staleness.
+
+An epoch plan chains one compiled :class:`~repro.nn.plan.StepPlan` replay
+per step with pre-bound in-place optimizer updates (see
+``core.lightnas._EpochPlan``).  These tests drive the engine's phase
+methods directly with a *concentrated* α (one path dominates every Gumbel
+draw) so the per-step plans repeat and the epoch chain actually assembles
+— the default near-uniform α rarely repeats a path inside a tiny run.
+
+Pinned contracts:
+
+* a w-epoch assembles its chain once every step replays, hits on the next
+  identical selection sequence, and stays bitwise identical to the eager
+  (``use_plans=False``) twin engine;
+* an α-epoch chain is optimistic — a drifted sampled path invalidates it
+  gracefully (counted, per-step fallback, no exception) and the chain
+  reassembles once the new path replays end to end;
+* a chained step plan evicted from the LRU poisons the epoch plan
+  (``stale()``) — it is invalidated, never replayed;
+* rebinding a BN parameter's storage mid-training raises ``PlanError``
+  from the epoch-level replay, exactly as it does from per-step replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.gumbel import GumbelSampler, TemperatureSchedule
+from repro.core.lambda_opt import LagrangeMultiplier
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.nn.plan import PlanError
+from repro.predictor.analytic import AnalyticCostPredictor
+
+SEED = 5
+
+
+def make_engine(use_plans: bool = True) -> LightNAS:
+    cfg = LightNASConfig.tiny(latency_target_ms=2.0, seed=SEED,
+                              mode="supernet", metric_name="macs_m")
+    cfg.use_plans = use_plans
+    predictor = AnalyticCostPredictor(cfg.space, "macs_m")
+    engine = LightNAS(cfg, predictor=predictor)
+    engine.programs.compile_threshold = 1
+    return engine
+
+
+def make_driver(engine: LightNAS, alpha_lr: float = 1e-12):
+    """The pieces ``search()`` would build, with α concentrated on path 0.
+
+    A +50 logit margin dwarfs every Gumbel draw, so each step samples the
+    same path and the epoch's selection sequence repeats across epochs —
+    the precondition for epoch-plan assembly.  ``alpha_lr`` defaults to a
+    vanishing value so α-epochs keep their baked selections too.
+    """
+    cfg = engine.config
+    alpha = nn.Parameter(engine.space.uniform_alpha(), name="alpha")
+    alpha.data[:, 0] += 50.0
+    alpha_opt = nn.Adam([alpha], lr=alpha_lr,
+                        weight_decay=cfg.alpha_weight_decay)
+    lam = LagrangeMultiplier(lr=cfg.lambda_lr, initial=cfg.lambda_initial)
+    schedule = TemperatureSchedule(cfg.tau_initial, cfg.tau_floor, cfg.epochs)
+    sampler = GumbelSampler(schedule, engine.rng)
+    w_opt = nn.SGD(engine.supernet.parameters(), lr=cfg.w_lr,
+                   momentum=cfg.w_momentum,
+                   weight_decay=cfg.w_weight_decay)
+    return alpha, alpha_opt, lam, sampler, w_opt
+
+
+class TestWEpochPlan:
+    def test_assembles_then_hits_bit_identical_to_eager(self):
+        plan_eng = make_engine(use_plans=True)
+        eager_eng = make_engine(use_plans=False)
+        p_alpha, _, _, p_sampler, p_wopt = make_driver(plan_eng)
+        e_alpha, _, _, e_sampler, e_wopt = make_driver(eager_eng)
+        assert np.array_equal(p_alpha.data, e_alpha.data)
+
+        stats_after = []
+        for epoch in range(3):
+            plan_eng._train_weights_epoch(p_sampler, p_alpha, p_wopt, epoch)
+            eager_eng._train_weights_epoch(e_sampler, e_alpha, e_wopt, epoch)
+            stats_after.append(plan_eng.programs.stats())
+
+        # epoch 0: the first step *compiles* its plan, so the chain is
+        # short by one and nothing is stored; epoch 1: every step replays
+        # → the epoch plan assembles; epoch 2: whole-epoch hit
+        assert stats_after[0]["epoch_plans_compiled"] == 0
+        assert stats_after[1]["epoch_plans_compiled"] == 1
+        assert stats_after[1]["epoch_plan_hits"] == 0
+        assert stats_after[2]["epoch_plan_hits"] == 1
+
+        plan_state = plan_eng.supernet.state_dict()
+        eager_state = eager_eng.supernet.state_dict()
+        for key in eager_state:
+            assert np.array_equal(eager_state[key], plan_state[key]), key
+        p_opt_state = p_wopt.state_arrays()
+        e_opt_state = e_wopt.state_arrays()
+        for key in e_opt_state:
+            assert np.array_equal(e_opt_state[key], p_opt_state[key]), key
+
+    def test_evicted_step_plan_poisons_epoch_plan(self):
+        engine = make_engine()
+        alpha, _, _, sampler, w_opt = make_driver(engine)
+        for epoch in range(3):
+            engine._train_weights_epoch(sampler, alpha, w_opt, epoch)
+        assert engine.programs.stats()["epoch_plan_hits"] == 1
+        (ep,) = engine.programs._epoch_plans.values()
+
+        # simulate an LRU eviction of a chained step plan: drop it from
+        # the plan cache and return its buffers to the arena
+        victim = ep.step_plans[0]
+        for key, plan in list(engine.programs._plans.items()):
+            if plan is victim:
+                engine.programs._plans.pop(key)
+        victim.release()
+        assert ep.stale()
+
+        before = engine.programs.stats()["epoch_plan_invalidations"]
+        engine._train_weights_epoch(sampler, alpha, w_opt, 3)
+        stats = engine.programs.stats()
+        assert stats["epoch_plan_invalidations"] == before + 1
+        # the released plan was never replayed; the epoch fell back to
+        # per-step execution (recompiling the evicted step), then the
+        # chain reassembles once every step replays again
+        engine._train_weights_epoch(sampler, alpha, w_opt, 4)
+        assert engine.programs.stats()["epoch_plans_compiled"] == 2
+
+    def test_bn_param_rebind_raises_from_epoch_replay(self):
+        engine = make_engine()
+        alpha, _, _, sampler, w_opt = make_driver(engine)
+        for epoch in range(3):
+            engine._train_weights_epoch(sampler, alpha, w_opt, epoch)
+        assert engine.programs.stats()["epoch_plan_hits"] == 1
+
+        gamma = next(p for p in engine.supernet.parameters()
+                     if "gamma" in (p.name or ""))
+        gamma.data = gamma.data.copy()  # rebind storage, not in-place
+        with pytest.raises(PlanError, match="rebound"):
+            engine._train_weights_epoch(sampler, alpha, w_opt, 3)
+
+
+class TestAlphaEpochPlan:
+    def test_optimistic_chain_assembles_and_hits(self):
+        engine = make_engine()
+        alpha, alpha_opt, lam, sampler, _ = make_driver(engine)
+        stats_after = []
+        for epoch in range(3):
+            steps, mean_loss = engine._update_alpha_epoch(
+                sampler, alpha, alpha_opt, lam, epoch)
+            assert steps == engine.config.steps_per_epoch
+            assert np.isfinite(mean_loss)
+            stats_after.append(engine.programs.stats())
+        assert stats_after[0]["epoch_plans_compiled"] == 0
+        assert stats_after[1]["epoch_plans_compiled"] == 1
+        assert stats_after[2]["epoch_plan_hits"] == 1
+
+    def test_path_drift_invalidates_gracefully_then_reassembles(self):
+        engine = make_engine()
+        alpha, alpha_opt, lam, sampler, _ = make_driver(engine)
+        for epoch in range(3):
+            engine._update_alpha_epoch(sampler, alpha, alpha_opt, lam, epoch)
+        assert engine.programs.stats()["epoch_plan_hits"] == 1
+
+        # in-place α shift: plans stay valid, but the sampled path drifts
+        # away from the chain's baked selections
+        alpha.data[:, 0] -= 100.0
+        alpha.data[:, 1] += 100.0
+        before = engine.programs.stats()
+        steps, mean_loss = engine._update_alpha_epoch(
+            sampler, alpha, alpha_opt, lam, 3)
+        stats = engine.programs.stats()
+        assert steps == engine.config.steps_per_epoch  # whole epoch ran
+        assert np.isfinite(mean_loss)
+        assert stats["epoch_plan_invalidations"] == \
+            before["epoch_plan_invalidations"] + 1
+        assert stats["epoch_plan_hits"] == before["epoch_plan_hits"]
+
+        # the new path's first step compiled (chain short by one), the
+        # next epoch replays end to end and the chain reassembles
+        engine._update_alpha_epoch(sampler, alpha, alpha_opt, lam, 4)
+        engine._update_alpha_epoch(sampler, alpha, alpha_opt, lam, 5)
+        final = engine.programs.stats()
+        assert final["epoch_plans_compiled"] == 2
+        assert final["epoch_plan_hits"] == before["epoch_plan_hits"] + 1
