@@ -1,0 +1,256 @@
+"""Serving-stack benchmark: boot modes and live load (BENCH_serve.json).
+
+Builds a large archive (50k records by default), compacts it into
+memory-mapped segments, and measures the two halves of the serving story:
+
+* **cold boot** — opening the archive via full JSON-lines replay
+  (``use_segments=False``, the pre-segment behaviour) versus the
+  segment-backed mmap + tail-replay boot, asserting the two paths produce
+  bit-identical query results (top-k, Pareto, nearest) before timing them;
+* **live load** — a threaded load generator fires mixed concurrent
+  ``/predict`` + ``/query`` traffic at a real HTTP server over the
+  segment-backed archive, recording per-request latency (p50/p99 per
+  endpoint) and aggregate QPS.
+
+``--check`` asserts the acceptance thresholds: query parity always, no
+failed requests, a modest QPS floor / p99 ceiling, and — at full size
+only — a >= 5x segment-boot speedup over log replay.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --records 4000 \
+        --requests 120 --check          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.archive import query as queries
+from repro.archive.service import ArchiveService, make_server
+from repro.archive.store import ArchitectureArchive
+from repro.predictor.analytic import AnalyticCostPredictor
+from repro.search_space.space import SearchSpace
+
+FULL_SIZE = 50_000          # boot-speedup threshold only applies here
+
+
+def build_archive(path: str, space: SearchSpace, records: int) -> None:
+    rng = np.random.default_rng(3)
+    archive = ArchitectureArchive(path, space=space)
+    chunk = 5_000
+    written = 0
+    while written < records:
+        n = min(chunk, records - written)
+        ops = rng.integers(0, space.num_operators, size=(n, space.num_layers))
+        archive.add_population(
+            ops, device="xavier",
+            latency_ms=rng.uniform(5, 60, n),
+            energy_mj=rng.uniform(20, 900, n),
+            macs_m=rng.uniform(40, 600, n),
+            score=rng.uniform(40, 82, n), engine="bench-serve", seed=3)
+        written += n
+    archive.compact()
+    archive.close()
+
+
+def reference_queries(index) -> list:
+    """A fixed query battery whose results must not depend on boot mode."""
+    out = []
+    out.append(queries.describe_rows(
+        index, queries.top_k(index, 50), "xavier"))
+    out.append(queries.describe_rows(
+        index, queries.top_k(index, 25, objective="latency_ms",
+                             device="xavier",
+                             budgets={"latency_ms": 30.0}), "xavier"))
+    out.append(queries.describe_rows(
+        index, queries.pareto_rows(index, device="xavier"), "xavier"))
+    rows, distances = queries.hamming_neighbors(index, index.ops[0], 25)
+    out.append([queries.describe_rows(index, rows),
+                distances.tolist()])
+    return out
+
+
+def bench_boot(path: str, space: SearchSpace) -> dict:
+    start = time.perf_counter()
+    via_log = ArchitectureArchive(path, space=space, use_segments=False,
+                                  read_only=True)
+    log_s = time.perf_counter() - start
+    assert via_log.boot["mode"] == "log-replay"
+
+    start = time.perf_counter()
+    via_segment = ArchitectureArchive(path, space=space, read_only=True)
+    segment_s = time.perf_counter() - start
+    assert via_segment.boot["mode"] == "segment"
+
+    parity = (reference_queries(via_log.index())
+              == reference_queries(via_segment.index()))
+    assert parity, "segment boot diverged from JSON-lines replay"
+    records = len(via_segment)
+    via_log.close()
+    via_segment.close()
+    return {
+        "records": records,
+        "log_replay_boot_seconds": log_s,
+        "segment_boot_seconds": segment_s,
+        "boot_speedup": log_s / segment_s,
+        "query_parity": parity,
+    }
+
+
+def percentile(samples, q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def bench_load(path: str, space: SearchSpace, requests_per_client: int,
+               clients: int) -> dict:
+    archive = ArchitectureArchive(path, space=space, read_only=True)
+    predictor = AnalyticCostPredictor(space, "macs_m")
+    service = ArchiveService(space, predictor, metric_name="macs_m",
+                             device_name="xavier", archive=archive)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+
+    latencies = {"predict": [], "query": []}
+    failures = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def call(endpoint: str, payload: dict) -> float:
+        body = json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            base + endpoint, body, {"Content-Type": "application/json"})
+        start = time.perf_counter()
+        with urllib.request.urlopen(req, timeout=60) as response:
+            json.loads(response.read())
+        return time.perf_counter() - start
+
+    def client(worker: int) -> None:
+        rng = np.random.default_rng(100 + worker)
+        barrier.wait()
+        for i in range(requests_per_client):
+            try:
+                if (worker + i) % 2 == 0:
+                    ops = rng.integers(
+                        0, space.num_operators, size=(8, space.num_layers))
+                    seconds = call("/predict", {"archs": ops.tolist()})
+                    kind = "predict"
+                else:
+                    seconds = call("/query", {
+                        "k": 50, "limit": 20,
+                        "offset": int(rng.integers(0, 30))})
+                    kind = "query"
+                with lock:
+                    latencies[kind].append(seconds)
+            except Exception as exc:
+                with lock:
+                    failures.append(repr(exc))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    stats = service.batcher.stats()
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+    total = len(latencies["predict"]) + len(latencies["query"])
+    return {
+        "clients": clients,
+        "requests": total,
+        "failed_requests": len(failures),
+        "wall_seconds": wall,
+        "qps": total / wall,
+        "predict_p50_ms": 1e3 * percentile(latencies["predict"], 50),
+        "predict_p99_ms": 1e3 * percentile(latencies["predict"], 99),
+        "query_p50_ms": 1e3 * percentile(latencies["query"], 50),
+        "query_p99_ms": 1e3 * percentile(latencies["query"], 99),
+        "predict_requests": stats["predict_requests"],
+        "predict_batches": stats["predict_batches"],
+        "batching_ratio": (stats["predict_requests"]
+                           / max(1, stats["predict_batches"])),
+    }
+
+
+def run(records: int, requests_per_client: int, clients: int,
+        check: bool) -> dict:
+    space = SearchSpace()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "serve_bench.jsonl")
+        build_archive(path, space, records)
+        boot = bench_boot(path, space)
+        load = bench_load(path, space, requests_per_client, clients)
+
+    results = {"boot": boot, "load": load}
+    if check:
+        assert boot["query_parity"], "boot-mode query parity broken"
+        assert load["failed_requests"] == 0, \
+            f"{load['failed_requests']} requests failed under load"
+        assert load["qps"] >= 25.0, f"QPS {load['qps']:.1f} < 25"
+        assert load["predict_p99_ms"] <= 2000.0, \
+            f"predict p99 {load['predict_p99_ms']:.0f}ms > 2000ms"
+        assert load["query_p99_ms"] <= 2000.0, \
+            f"query p99 {load['query_p99_ms']:.0f}ms > 2000ms"
+        if boot["records"] >= FULL_SIZE:
+            assert boot["boot_speedup"] >= 5.0, \
+                f"segment boot speedup {boot['boot_speedup']:.1f}x < 5x"
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=FULL_SIZE,
+                        help="archive size for the boot benchmark")
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per client thread")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent load-generator threads")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the serving acceptance thresholds")
+    args = parser.parse_args()
+
+    results = run(args.records, args.requests, args.clients, args.check)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    boot, load = results["boot"], results["load"]
+    rows = [
+        ["log-replay boot", f"{boot['log_replay_boot_seconds']:.3f}", "—"],
+        ["segment boot", f"{boot['segment_boot_seconds']:.3f}",
+         f"{boot['boot_speedup']:.1f}x"],
+        ["/predict", f"p50 {load['predict_p50_ms']:.1f} ms",
+         f"p99 {load['predict_p99_ms']:.1f} ms"],
+        ["/query", f"p50 {load['query_p50_ms']:.1f} ms",
+         f"p99 {load['query_p99_ms']:.1f} ms"],
+        ["mixed load", f"{load['qps']:.1f} QPS",
+         f"{load['failed_requests']} failed"],
+    ]
+    print(render_table(
+        ["phase", "result", "detail"], rows,
+        title=f"Serving stack — {boot['records']} archived records, "
+              f"{load['clients']} concurrent clients"))
+    path = save_json("BENCH_serve", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

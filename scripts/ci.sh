@@ -39,6 +39,13 @@ python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 # and is uploaded as the bench-step CI artifact.
 python benchmarks/bench_step_replay.py --check
 
+# Serving benchmark at reduced size: asserts segment-vs-log-replay query
+# parity, zero failed requests under mixed concurrent load, and the QPS
+# floor / p99 ceiling (the >= 5x boot-speedup gate only applies at the
+# full 50k-record size); BENCH_serve.json is kept as a CI artifact.
+python benchmarks/bench_serve.py --records 4000 --requests 20 --clients 4 \
+    --check
+
 # End-to-end telemetry smoke: a traced tiny search whose journal is kept as
 # a CI artifact (see .github/workflows/ci.yml).
 mkdir -p artifacts

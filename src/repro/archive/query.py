@@ -27,7 +27,7 @@ from ..eval.pareto import pareto_mask
 from .store import DEVICE_COST_METRICS, GLOBAL_METRICS, ArchiveIndex
 
 __all__ = ["top_k", "pareto_rows", "hamming_neighbors", "describe_rows",
-           "QUERY_METRICS"]
+           "paginate", "QUERY_METRICS"]
 
 #: every metric name a query may reference
 QUERY_METRICS = GLOBAL_METRICS + DEVICE_COST_METRICS
@@ -111,6 +111,36 @@ def hamming_neighbors(index: ArchiveIndex, op_indices: Sequence[int],
     distances = (index.ops != query[None, :]).sum(axis=1)
     order = np.argsort(distances, kind="stable")[:min(k, len(index))]
     return order, distances[order]
+
+
+def paginate(rows: np.ndarray, offset: int = 0,
+             limit: Optional[int] = None,
+             ) -> Tuple[np.ndarray, Optional[int], int]:
+    """Slice a result row set into one page.
+
+    Selection (top-k ranking, Pareto sweep, neighbour sort) is vectorized
+    and cheap; *serialisation* is what scales with the result count, so
+    pagination slices the already-ranked ``rows`` and only the page is ever
+    described to JSON.  Returns ``(page, next_offset, total)`` where
+    ``next_offset`` is ``None`` on the last page.  Walking pages with the
+    returned cursors reassembles exactly the unpaginated row set (the
+    ranking is deterministic, so cursors are stable across requests as long
+    as no records are appended in between).
+    """
+    rows = np.asarray(rows)
+    offset = int(offset)
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    total = len(rows)
+    if limit is None:
+        page = rows[offset:] if offset else rows
+        return page, None, total
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError("limit must be a positive integer")
+    page = rows[offset:offset + limit]
+    next_offset = offset + limit if offset + limit < total else None
+    return page, next_offset, total
 
 
 def describe_rows(index: ArchiveIndex, rows: np.ndarray,

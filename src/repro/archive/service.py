@@ -4,9 +4,9 @@
 system: a stdlib :mod:`http.server` JSON API exposing
 
 * ``POST /predict`` — metric predictions for a batch of architectures,
-* ``POST /query``   — budgeted top-k over the archive,
-* ``POST /pareto``  — the per-device cost/score Pareto frontier,
-* ``POST /nearest`` — Hamming nearest neighbours of a genotype,
+* ``POST /query``   — budgeted top-k over the archive (paginated),
+* ``POST /pareto``  — the per-device cost/score Pareto frontier (paginated),
+* ``POST /nearest`` — Hamming nearest neighbours of a genotype (paginated),
 * ``GET  /stats``   — request/batch counters and archive summary,
 * ``GET  /health``  — liveness probe,
 * ``POST /shutdown``— clean remote shutdown (used by the CI smoke test).
@@ -19,11 +19,20 @@ which ``/stats`` makes observable (``predict_requests`` vs
 ``predict_batches``).  Each architecture's prediction is bit-identical to a
 direct ``predict_population`` call (row-subset parity, see
 :mod:`repro.archive.cache`), so batching is invisible to clients.
+
+Scaling shape: archive queries run against immutable mmap-friendly
+:class:`~repro.archive.store.ArchiveIndex` snapshots (safe under the
+threading server and shared across forked workers), and the archive
+endpoints accept ``offset``/``limit`` with a ``next`` cursor so top-k over
+a huge archive never serializes one giant JSON body.  ``repro serve
+--workers N`` runs N processes accepting on one ``SO_REUSEPORT`` socket
+group over the same memory-mapped segments (see ``repro.cli``).
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,13 +50,14 @@ __all__ = ["ArchiveService", "BatchingPredictor", "make_server"]
 class _Pending:
     """One enqueued predict request awaiting its slice of a batch."""
 
-    __slots__ = ("ops", "event", "result", "error")
+    __slots__ = ("ops", "event", "result", "error", "cancelled")
 
     def __init__(self, ops: np.ndarray) -> None:
         self.ops = ops
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[Exception] = None
+        self.cancelled = False
 
 
 class BatchingPredictor:
@@ -64,6 +74,12 @@ class BatchingPredictor:
         for stragglers to join (the batching window).
     max_batch:
         Dispatch early once this many architectures are pending.
+
+    A caller that times out *cancels* its pending item: the dispatcher
+    drops cancelled items at dispatch time, so an abandoned request costs
+    no predictor forward and never drifts the ``predict_archs`` /
+    ``largest_batch`` counters.  (An item already in flight when its caller
+    gives up cannot be recalled — only its result is discarded.)
     """
 
     def __init__(self, predictor, space: SearchSpace, *,
@@ -80,6 +96,7 @@ class BatchingPredictor:
         self.batches = 0
         self.archs = 0
         self.largest_batch = 0
+        self.cancelled = 0
         self._pending: List[_Pending] = []
         self._cond = threading.Condition()
         self._closed = False
@@ -99,6 +116,11 @@ class BatchingPredictor:
             self._pending.append(item)
             self._cond.notify_all()
         if not item.event.wait(timeout):
+            with self._cond:
+                item.cancelled = True
+                self.cancelled += 1
+                if item in self._pending:
+                    self._pending.remove(item)
             raise TimeoutError("batched prediction timed out")
         if item.error is not None:
             raise item.error
@@ -116,12 +138,18 @@ class BatchingPredictor:
                 # request arrives, dispatching early at max_batch
                 deadline = time.monotonic() + self.window_s
                 while not self._closed:
-                    size = sum(len(p.ops) for p in self._pending)
+                    size = sum(len(p.ops) for p in self._pending
+                               if not p.cancelled)
                     remaining = deadline - time.monotonic()
                     if size >= self.max_batch or remaining <= 0:
                         break
                     self._cond.wait(timeout=remaining)
-                batch, self._pending = self._pending, []
+                # dispatch-time cancellation check: items whose caller
+                # timed out are dropped here, before any stacking
+                batch = [p for p in self._pending if not p.cancelled]
+                self._pending = []
+            if not batch:
+                continue
             stacked = np.concatenate([p.ops for p in batch], axis=0)
             try:
                 predictions = self.predictor.predict_population(stacked)
@@ -146,11 +174,14 @@ class BatchingPredictor:
                 "predict_requests": self.requests,
                 "predict_batches": self.batches,
                 "predict_archs": self.archs,
+                "predict_cancelled": self.cancelled,
                 "largest_batch": self.largest_batch,
             }
 
     def close(self) -> None:
         with self._cond:
+            if self._closed:
+                return
             self._closed = True
             self._cond.notify_all()
         self._thread.join(timeout=5.0)
@@ -167,17 +198,21 @@ class ArchiveService:
                  metric_name: str = "latency_ms",
                  device_name: str = "",
                  archive: Optional[ArchitectureArchive] = None,
-                 window_s: float = 0.004, max_batch: int = 8192) -> None:
+                 window_s: float = 0.004, max_batch: int = 8192,
+                 default_page_limit: Optional[int] = None) -> None:
         self.space = space
         self.metric_name = metric_name
         self.device_name = device_name
         self.archive = archive
+        self.default_page_limit = default_page_limit
         self.batcher = BatchingPredictor(predictor, space,
                                          window_s=window_s,
                                          max_batch=max_batch)
         self.started = time.time()
         self._endpoint_counts: Dict[str, int] = {}
         self._count_lock = threading.Lock()
+        self._closed = False
+        self._close_lock = threading.Lock()
 
     def _count(self, endpoint: str) -> None:
         with self._count_lock:
@@ -203,6 +238,20 @@ class ArchiveService:
             raise ValueError(
                 "this server has no archive loaded; restart with --archive")
         return self.archive
+
+    def _page(self, payload: dict, rows: np.ndarray):
+        """Apply the request's ``offset``/``limit`` to a ranked row set."""
+        try:
+            offset = int(payload.get("offset", 0))
+        except (TypeError, ValueError):
+            raise ValueError("'offset' must be an integer") from None
+        limit = payload.get("limit", self.default_page_limit)
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError):
+                raise ValueError("'limit' must be an integer") from None
+        return queries.paginate(rows, offset, limit) + (offset,)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -230,8 +279,10 @@ class ArchiveService:
             device=device,
             budgets=payload.get("budgets") or {},
         )
-        return {"count": len(rows),
-                "results": queries.describe_rows(index, rows, device)}
+        page, next_offset, total, offset = self._page(payload, rows)
+        return {"count": len(page), "total": total,
+                "offset": offset, "next": next_offset,
+                "results": queries.describe_rows(index, page, device)}
 
     def pareto(self, payload: dict) -> dict:
         self._count("pareto")
@@ -244,8 +295,10 @@ class ArchiveService:
             index, device=device,
             cost_metric=payload.get("cost_metric", "latency_ms"),
             quality=payload.get("quality", "score"))
-        return {"count": len(rows), "device": device,
-                "results": queries.describe_rows(index, rows, device)}
+        page, next_offset, total, offset = self._page(payload, rows)
+        return {"count": len(page), "total": total, "device": device,
+                "offset": offset, "next": next_offset,
+                "results": queries.describe_rows(index, page, device)}
 
     def nearest(self, payload: dict) -> dict:
         self._count("nearest")
@@ -256,10 +309,13 @@ class ArchiveService:
             raise ValueError("body needs an 'arch' list of operator indices")
         rows, distances = queries.hamming_neighbors(
             index, arch, int(payload.get("k", 5)))
-        results = queries.describe_rows(index, rows)
-        for entry, distance in zip(results, distances.tolist()):
+        page, next_offset, total, offset = self._page(payload, rows)
+        results = queries.describe_rows(index, page)
+        page_distances = distances[offset:offset + len(page)]
+        for entry, distance in zip(results, page_distances.tolist()):
             entry["hamming_layers"] = distance
-        return {"count": len(rows), "results": results}
+        return {"count": len(page), "total": total,
+                "offset": offset, "next": next_offset, "results": results}
 
     def stats(self) -> dict:
         self._count("stats")
@@ -276,6 +332,11 @@ class ArchiveService:
         return payload
 
     def close(self) -> None:
+        """Shut the batcher thread and archive handle down (idempotent)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.batcher.close()
         if self.archive is not None:
             self.archive.close()
@@ -318,12 +379,28 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    def _dispatch(self, handler) -> None:
+        """Run one endpoint, mapping every failure to a JSON error body.
+
+        GET and POST share this path: an :class:`ArchiveError` (or any
+        unexpected exception) from a handler must produce a 5xx JSON
+        response, never a silently dropped connection.
+        """
+        try:
+            self._send_json(200, handler())
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except TimeoutError as exc:
+            self._send_json(503, {"error": str(exc)})
+        except Exception as exc:
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/stats":
-            self._send_json(200, self.service.stats())
+            self._dispatch(self.service.stats)
         elif self.path == "/health":
-            self._send_json(200, {"ok": True})
+            self._dispatch(lambda: {"ok": True})
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -336,28 +413,49 @@ class _Handler(BaseHTTPRequestHandler):
         }
         if self.path == "/shutdown":
             self._send_json(200, {"ok": True, "shutting_down": True})
-            threading.Thread(target=self.server.shutdown,
-                             daemon=True).start()
+            server, service = self.server, self.service
+
+            def stop() -> None:
+                # shutdown() returns once serve_forever has exited; only
+                # then is it safe to close the batcher and archive handle
+                server.shutdown()
+                service.close()
+
+            threading.Thread(target=stop, daemon=True).start()
             return
         handler = routes.get(self.path)
         if handler is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
-        try:
-            payload = self._read_json()
-            self._send_json(200, handler(payload))
-        except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except TimeoutError as exc:
-            self._send_json(503, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {exc}"})
+        self._dispatch(lambda: handler(self._read_json()))
+
+
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """A threading server whose listener joins an ``SO_REUSEPORT`` group.
+
+    Every worker process binds its *own* socket to the same address and
+    the kernel load-balances incoming connections across them — no fd
+    passing, no accept-loop handoff.
+    """
+
+    def server_bind(self) -> None:
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+            raise OSError("this platform has no SO_REUSEPORT; "
+                          "run with workers=1")
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 def make_server(service: ArchiveService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
-    """Bind a threading HTTP server for a service (port 0 = ephemeral)."""
-    server = ThreadingHTTPServer((host, port), _Handler)
+                port: int = 0, verbose: bool = False,
+                reuse_port: bool = False) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for a service (port 0 = ephemeral).
+
+    With ``reuse_port=True`` the listener joins an ``SO_REUSEPORT`` group,
+    so several processes can serve one address (``repro serve --workers``).
+    """
+    server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+    server = server_cls((host, port), _Handler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.daemon_threads = True

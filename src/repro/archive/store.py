@@ -10,21 +10,30 @@ motivates keeping costs per device so one store serves many deployment
 targets) and provenance (engine, seed, config fingerprint, reusing
 :func:`repro.runtime.checkpoint.fingerprint_of`).
 
-Design rules, mirroring :mod:`repro.runtime.checkpoint`:
+Storage is split into two layers:
 
-* **Append-only JSON lines** — one record per line, each protected by a
-  CRC-32 prefix and flushed on write, so a crashed run leaves a readable
-  archive up to the crash.
-* **Loud failures** — a truncated or corrupt line raises
-  :class:`ArchiveError` with a remedy (:func:`repair_archive` truncates a
-  damaged tail), never silently drops data.
-* **Content addressing** — records are keyed by the SHA-1 of the
-  architecture's one-hot encoding (the ᾱ matrix of Eq. 4), so the same
-  genotype written by different engines/runs merges into one record.
-* **In-memory numpy index** — :meth:`ArchitectureArchive.index` rebuilds a
-  stacked ``(N, L)`` op-index matrix plus an ``(N, D, M)`` per-device cost
-  matrix on open; the query engine (:mod:`repro.archive.query`) operates on
-  those arrays with no Python-loop-per-record.
+* **The write-ahead log (WAL)** — the JSON-lines archive file itself: one
+  record per line, each protected by a CRC-32 prefix and flushed on write,
+  so a crashed run leaves a readable archive up to the crash.  A truncated
+  or corrupt line raises :class:`ArchiveError` with a remedy
+  (:func:`repair_archive` truncates a damaged tail), never silently drops
+  data.
+* **Segments** (:mod:`repro.archive.segments`) — compacted memory-mapped
+  snapshots of the merged state.  :meth:`ArchitectureArchive.compact` cuts
+  one; subsequent opens mmap the arrays and replay only the WAL tail
+  written after the segment, instead of parsing the full log.  Serving
+  workers share the mmap'd pages.
+
+The in-memory index is **incrementally extended and thread-safe**: every
+append updates growable stacked arrays in place (O(1) per record) under a
+lock, and :meth:`ArchitectureArchive.index` hands out immutable
+:class:`ArchiveIndex` snapshots — concurrent readers never observe a
+half-merged record, and a post-append query no longer re-stacks the whole
+archive.
+
+Records are keyed by the SHA-1 of the architecture's one-hot encoding (the
+ᾱ matrix of Eq. 4), so the same genotype written by different engines/runs
+merges into one record.
 """
 
 from __future__ import annotations
@@ -32,12 +41,22 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import zlib
+import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from hashlib import sha1
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .segments import (
+    ArchiveError,
+    Segment,
+    frame_line as _frame,
+    load_current_segment,
+    unframe_line as _unframe,
+    write_segment,
+)
 
 __all__ = [
     "ARCHIVE_VERSION",
@@ -61,9 +80,7 @@ DEVICE_COST_METRICS = ("latency_ms", "energy_mj",
 #: architecture-global fields stacked into the numpy index
 GLOBAL_METRICS = ("macs_m", "params_m", "score")
 
-
-class ArchiveError(RuntimeError):
-    """An archive could not be written, read, or matched to this space."""
+_METRIC_POS = {name: i for i, name in enumerate(DEVICE_COST_METRICS)}
 
 
 # ----------------------------------------------------------------------
@@ -178,16 +195,18 @@ class ArchRecord:
 
 
 # ----------------------------------------------------------------------
-# In-memory numpy index
+# Stacked numpy index
 # ----------------------------------------------------------------------
 
 @dataclass
 class ArchiveIndex:
-    """Stacked numpy view of the archive, rebuilt on open.
+    """Immutable stacked numpy view of the archive at one point in time.
 
     The query engine operates entirely on these arrays: ``ops`` for Hamming
     nearest-neighbour search, ``cost``/``score``/``macs_m``/``params_m``
     for budgeted top-k and Pareto queries.  Missing values are NaN.
+    Snapshots handed out by :meth:`ArchitectureArchive.index` are read-only
+    and never mutated by later appends — concurrent readers are safe.
     """
 
     ops: np.ndarray                 #: ``(N, L)`` int64 genotypes
@@ -236,7 +255,6 @@ class ArchiveIndex:
         cost = np.full((n, len(device_names), len(DEVICE_COST_METRICS)),
                        np.nan)
         device_pos = {name: i for i, name in enumerate(device_names)}
-        metric_pos = {name: i for i, name in enumerate(DEVICE_COST_METRICS)}
         for i, record in enumerate(records):
             ops[i] = record.op_indices
             if record.score is not None:
@@ -247,7 +265,7 @@ class ArchiveIndex:
                 params[i] = record.params_m
             for device, metrics in record.devices.items():
                 for metric, value in metrics.items():
-                    column = metric_pos.get(metric)
+                    column = _METRIC_POS.get(metric)
                     if column is not None:
                         cost[i, device_pos[device], column] = value
         return ArchiveIndex(ops=ops, keys=tuple(r.key for r in records),
@@ -255,64 +273,123 @@ class ArchiveIndex:
                             devices=tuple(device_names), cost=cost)
 
 
+class _LiveIndex:
+    """Growable stacked arrays, extended in place on every merge.
+
+    This is the mutable twin of :class:`ArchiveIndex`: appends land in
+    amortized O(1) (capacity-doubling), merges into an existing genotype
+    write only the affected cells, and new device names insert a NaN
+    column at their *sorted* position so snapshots are bit-identical to
+    :meth:`ArchiveIndex.from_records` over the same records.  All access
+    is serialized by the owning archive's lock.
+    """
+
+    def __init__(self, num_layers: int, capacity: int = 64) -> None:
+        capacity = max(1, capacity)
+        self.num_layers = num_layers
+        self.n = 0
+        self.devices: List[str] = []
+        self.ops = np.zeros((capacity, num_layers), dtype=np.int64)
+        self.score = np.full(capacity, np.nan)
+        self.macs_m = np.full(capacity, np.nan)
+        self.params_m = np.full(capacity, np.nan)
+        self.cost = np.full((capacity, 0, len(DEVICE_COST_METRICS)), np.nan)
+
+    @classmethod
+    def from_segment(cls, segment: Segment) -> "_LiveIndex":
+        n = len(segment)
+        live = cls(segment.num_layers, capacity=n + 64)
+        live.n = n
+        live.devices = list(segment.devices)
+        live.ops[:n] = segment.ops
+        live.score[:n] = segment.score
+        live.macs_m[:n] = segment.macs_m
+        live.params_m[:n] = segment.params_m
+        cost = np.full((n + 64, len(segment.devices),
+                        len(DEVICE_COST_METRICS)), np.nan)
+        cost[:n] = segment.cost
+        live.cost = cost
+        return live
+
+    # ------------------------------------------------------------------
+    def _grow_rows(self, need: int) -> None:
+        capacity = len(self.score)
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+
+        def widen(array: np.ndarray, fill) -> np.ndarray:
+            fresh = np.full((capacity,) + array.shape[1:], fill,
+                            dtype=array.dtype)
+            fresh[:self.n] = array[:self.n]
+            return fresh
+
+        self.ops = widen(self.ops, 0)
+        self.score = widen(self.score, np.nan)
+        self.macs_m = widen(self.macs_m, np.nan)
+        self.params_m = widen(self.params_m, np.nan)
+        self.cost = widen(self.cost, np.nan)
+
+    def ensure_device(self, name: str) -> int:
+        pos = bisect_left(self.devices, name)
+        if pos < len(self.devices) and self.devices[pos] == name:
+            return pos
+        self.devices.insert(pos, name)
+        self.cost = np.insert(self.cost, pos, np.nan, axis=1)
+        return pos
+
+    # ------------------------------------------------------------------
+    def append(self, record: ArchRecord) -> int:
+        self._grow_rows(self.n + 1)
+        row = self.n
+        self.ops[row] = record.op_indices
+        self.n += 1
+        self.update(row, record)
+        return row
+
+    def update(self, row: int, record: ArchRecord) -> None:
+        if record.score is not None:
+            self.score[row] = record.score
+        if record.macs_m is not None:
+            self.macs_m[row] = record.macs_m
+        if record.params_m is not None:
+            self.params_m[row] = record.params_m
+        for device, metrics in record.devices.items():
+            d = self.ensure_device(device)
+            for metric, value in metrics.items():
+                m = _METRIC_POS.get(metric)
+                if m is not None:
+                    self.cost[row, d, m] = value
+
+    def snapshot(self, keys: Tuple[str, ...]) -> ArchiveIndex:
+        n = self.n
+
+        def freeze(array: np.ndarray) -> np.ndarray:
+            out = array[:n].copy()
+            out.setflags(write=False)
+            return out
+
+        return ArchiveIndex(ops=freeze(self.ops), keys=keys,
+                            score=freeze(self.score),
+                            macs_m=freeze(self.macs_m),
+                            params_m=freeze(self.params_m),
+                            devices=tuple(self.devices),
+                            cost=freeze(self.cost))
+
+
 # ----------------------------------------------------------------------
-# Line framing
+# WAL repair
 # ----------------------------------------------------------------------
-
-def _frame(payload: str) -> str:
-    return f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}\n"
-
-
-def _unframe(line: str, path: str, lineno: int) -> dict:
-    crc, sep, payload = line.partition(" ")
-    if not sep or len(crc) != 8:
-        raise ArchiveError(
-            f"{path}:{lineno}: malformed archive line (no CRC frame) — the "
-            f"file is corrupt or truncated; run repair_archive({path!r}) to "
-            f"truncate the damaged tail, or delete the file")
-    try:
-        expected = int(crc, 16)
-    except ValueError:
-        raise ArchiveError(
-            f"{path}:{lineno}: malformed CRC prefix {crc!r} — the file is "
-            f"corrupt; run repair_archive({path!r}) to truncate the damaged "
-            f"tail, or delete the file") from None
-    if zlib.crc32(payload.encode("utf-8")) != expected:
-        raise ArchiveError(
-            f"{path}:{lineno}: CRC mismatch — the line is corrupt or "
-            f"truncated; run repair_archive({path!r}) to truncate the "
-            f"damaged tail, or delete the file")
-    try:
-        return json.loads(payload)
-    except json.JSONDecodeError as exc:
-        raise ArchiveError(
-            f"{path}:{lineno}: CRC-valid but unparsable JSON ({exc}); the "
-            f"file was written by an incompatible version — delete it"
-        ) from exc
-
-
-def _read_lines(path: str) -> List[str]:
-    """Raw archive lines; a final unterminated line raises (crash tail)."""
-    with open(path, "r", encoding="utf-8", newline="\n") as handle:
-        raw = handle.read()
-    if not raw:
-        raise ArchiveError(
-            f"archive {path!r} is empty — it was created but never wrote a "
-            f"header; delete the file")
-    lines = raw.split("\n")
-    if lines[-1] != "":
-        raise ArchiveError(
-            f"{path}:{len(lines)}: final line has no newline — a writer "
-            f"crashed mid-append; run repair_archive({path!r}) to truncate "
-            f"the damaged tail, or delete the file")
-    return lines[:-1]
-
 
 def repair_archive(path: str) -> int:
     """Truncate a crash-damaged archive to its longest valid prefix.
 
     Returns the number of lines dropped.  Raises :class:`ArchiveError` if
-    even the header line is unreadable (nothing to salvage).
+    even the header line is unreadable (nothing to salvage).  A segment
+    compacted past the repaired length stops matching the log and is
+    reported loudly on the next open (delete the segment directory and
+    recompact).
     """
     with open(path, "r", encoding="utf-8", newline="\n") as handle:
         raw = handle.read()
@@ -360,22 +437,49 @@ class ArchitectureArchive:
         an existing one they are validated against the header (a mismatch
         raises :class:`ArchiveError` — records from another space would be
         silently meaningless).  Pass ``space=`` as a convenience instead.
+    read_only:
+        Open without an append handle: writes raise :class:`ArchiveError`.
+        This is how serving workers share one archive — no writer, no
+        multi-process append hazard.
+    use_segments:
+        When ``False``, ignore any compacted segment and boot by replaying
+        the full log (the pre-segment behaviour; the boot benchmark uses
+        this as its baseline).
+
+    The instance is thread-safe: appends, merges, and index snapshots are
+    serialized by an internal lock, and :meth:`index` returns immutable
+    snapshots.
     """
 
     def __init__(self, path: str,
                  num_layers: Optional[int] = None,
                  num_operators: Optional[int] = None,
-                 space=None) -> None:
+                 space=None, *,
+                 read_only: bool = False,
+                 use_segments: bool = True) -> None:
         if space is not None:
             num_layers = space.num_layers
             num_operators = space.num_operators
         self.path = path
+        self.read_only = bool(read_only)
+        self._use_segments = bool(use_segments)
+        self._lock = threading.RLock()
         self._records: Dict[str, ArchRecord] = {}   # key → merged record
+        self._pending: Dict[str, ArchRecord] = {}   # unmaterialized merges
         self._order: List[str] = []                 # first-seen order
-        self._index: Optional[ArchiveIndex] = None
+        self._row_of: Dict[str, int] = {}           # key → index row
+        self._segment: Optional[Segment] = None
+        self._aux_loaded = False
+        self._live: Optional[_LiveIndex] = None
+        self._snapshot: Optional[ArchiveIndex] = None
+        self.boot: Dict[str, object] = {"mode": "new", "tail_records": 0}
         if os.path.exists(path):
             self._replay(num_layers, num_operators)
         else:
+            if self.read_only:
+                raise ArchiveError(
+                    f"archive {path!r} does not exist — a read-only open "
+                    f"cannot create it")
             if num_layers is None or num_operators is None:
                 raise ArchiveError(
                     f"creating archive {path!r} requires the space geometry "
@@ -390,13 +494,29 @@ class ArchitectureArchive:
                       "num_operators": self.num_operators}
             with open(path, "w", encoding="utf-8", newline="\n") as handle:
                 handle.write(_frame(json.dumps(header)))
-        self._handle = open(path, "a", encoding="utf-8", newline="\n")
+        self._handle = (None if self.read_only else
+                        open(path, "a", encoding="utf-8", newline="\n"))
 
+    # ------------------------------------------------------------------
+    # Boot
     # ------------------------------------------------------------------
     def _replay(self, num_layers: Optional[int],
                 num_operators: Optional[int]) -> None:
-        lines = _read_lines(self.path)
-        header = _unframe(lines[0], self.path, 1)
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        if not raw:
+            raise ArchiveError(
+                f"archive {self.path!r} is empty — it was created but never "
+                f"wrote a header; delete the file")
+        if not raw.endswith(b"\n"):
+            last_lineno = raw.count(b"\n") + 1
+            raise ArchiveError(
+                f"{self.path}:{last_lineno}: final line has no newline — a "
+                f"writer crashed mid-append; run "
+                f"repair_archive({self.path!r}) to truncate the damaged "
+                f"tail, or delete the file")
+        header_end = raw.index(b"\n") + 1
+        header = _unframe(raw[:header_end - 1].decode("utf-8"), self.path, 1)
         if header.get("magic") != ARCHIVE_MAGIC:
             raise ArchiveError(
                 f"{self.path!r} is not an architecture archive (bad magic "
@@ -416,30 +536,130 @@ class ArchitectureArchive:
                 f"{self.num_operators}-operator space, but this run uses "
                 f"{num_layers} layers / {num_operators} operators — use a "
                 f"separate archive per space geometry")
-        for lineno, line in enumerate(lines[1:], start=2):
-            payload = _unframe(line, self.path, lineno)
-            try:
-                record = ArchRecord.from_payload(payload)
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ArchiveError(
-                    f"{self.path}:{lineno}: CRC-valid but malformed record "
-                    f"({exc}) — the file was written by an incompatible "
-                    f"version; delete it") from exc
-            if len(record.op_indices) != self.num_layers:
-                raise ArchiveError(
-                    f"{self.path}:{lineno}: record has "
-                    f"{len(record.op_indices)} layers, header says "
-                    f"{self.num_layers} — the file is inconsistent")
-            self._merge(record)
+
+        segment = None
+        if self._use_segments:
+            segment = load_current_segment(
+                self.path, num_layers=self.num_layers,
+                num_operators=self.num_operators,
+                cost_metrics=DEVICE_COST_METRICS)
+        if segment is not None and segment.wal_offset >= header_end:
+            self._adopt_segment(segment, raw)
+        else:
+            self._full_replay(raw, header_end)
+
+    def _adopt_segment(self, segment: Segment, raw: bytes) -> None:
+        """Boot from the mmap'd segment, replaying only the WAL tail."""
+        self._segment = segment
+        self._order = list(segment.keys)
+        self._row_of = {key: row for row, key in enumerate(segment.keys)}
+        tail = raw[segment.wal_offset:]
+        tail_lines = tail.decode("utf-8").split("\n")[:-1] if tail else []
+        lineno = raw[:segment.wal_offset].count(b"\n")
+        for offset, line in enumerate(tail_lines, start=1):
+            self._merge(self._parse_record(line, lineno + offset))
+        self.boot = {"mode": "segment", "segment": segment.path,
+                     "segment_records": len(segment),
+                     "tail_records": len(tail_lines)}
+
+    def _full_replay(self, raw: bytes, header_end: int) -> None:
+        lines = raw[header_end:].decode("utf-8").split("\n")[:-1]
+        for lineno, line in enumerate(lines, start=2):
+            self._merge(self._parse_record(line, lineno))
+        self._aux_loaded = True   # every record is materialized
+        self.boot = {"mode": "log-replay", "tail_records": len(lines)}
+
+    def _parse_record(self, line: str, lineno: int) -> ArchRecord:
+        payload = _unframe(line, self.path, lineno)
+        try:
+            record = ArchRecord.from_payload(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArchiveError(
+                f"{self.path}:{lineno}: CRC-valid but malformed record "
+                f"({exc}) — the file was written by an incompatible "
+                f"version; delete it") from exc
+        if len(record.op_indices) != self.num_layers:
+            raise ArchiveError(
+                f"{self.path}:{lineno}: record has "
+                f"{len(record.op_indices)} layers, header says "
+                f"{self.num_layers} — the file is inconsistent")
+        return record
+
+    # ------------------------------------------------------------------
+    # Incremental merge (caller must hold the lock during boot; public
+    # entry points take it)
+    # ------------------------------------------------------------------
+    def _live_index(self) -> _LiveIndex:
+        if self._live is None:
+            if self._segment is not None:
+                self._live = _LiveIndex.from_segment(self._segment)
+            else:
+                self._live = _LiveIndex(self.num_layers)
+        return self._live
 
     def _merge(self, record: ArchRecord) -> None:
-        existing = self._records.get(record.key)
-        if existing is None:
-            self._records[record.key] = record
-            self._order.append(record.key)
-        else:
-            existing.merge(record)
-        self._index = None
+        with self._lock:
+            row = self._row_of.get(record.key)
+            if row is None:
+                row = self._live_index().append(record)
+                self._row_of[record.key] = row
+                self._order.append(record.key)
+                self._records[record.key] = record
+            else:
+                self._live_index().update(row, record)
+                existing = self._records.get(record.key)
+                if existing is not None:
+                    existing.merge(record)
+                else:
+                    # segment row not yet materialized — stage the merge
+                    pending = self._pending.get(record.key)
+                    if pending is None:
+                        self._pending[record.key] = record
+                    else:
+                        pending.merge(record)
+            self._snapshot = None
+
+    def _ensure_records(self) -> None:
+        """Materialize every record (lazy segment aux read)."""
+        with self._lock:
+            if self._aux_loaded or self._segment is None:
+                self._aux_loaded = True
+                return
+            segment = self._segment
+            count = 0
+            for payload in segment.aux_payloads():
+                try:
+                    record = ArchRecord.from_payload(payload)
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ArchiveError(
+                        f"segment {segment.path!r} row {count} has a "
+                        f"malformed payload ({exc}) — delete the segment "
+                        f"directory and recompact") from exc
+                if count >= len(segment) or record.key != segment.keys[count]:
+                    raise ArchiveError(
+                        f"segment {segment.path!r} aux payloads do not "
+                        f"align with its key array — the segment is "
+                        f"damaged; delete it and recompact")
+                pending = self._pending.pop(record.key, None)
+                if pending is not None:
+                    record.merge(pending)
+                # appends may have already created a record for this key?
+                # impossible: segment keys pre-exist in _row_of, so appends
+                # to them stage into _pending instead.
+                self._records[record.key] = record
+                count += 1
+            if count != len(segment):
+                raise ArchiveError(
+                    f"segment {segment.path!r} has {count} aux payloads "
+                    f"for {len(segment)} records — the segment is damaged; "
+                    f"delete it and recompact")
+            self._aux_loaded = True
+
+    def _require_writable(self, what: str) -> None:
+        if self._handle is None:
+            raise ArchiveError(
+                f"archive {self.path!r} is open read-only — {what} needs a "
+                f"writable archive")
 
     # ------------------------------------------------------------------
     # Writing
@@ -452,10 +672,12 @@ class ArchitectureArchive:
                 f"expects {self.num_layers}")
         if record.key != arch_key(record.op_indices, self.num_operators):
             raise ValueError("record key does not match its op_indices")
-        self._handle.write(_frame(json.dumps(record.to_payload())))
-        if flush:
-            self._handle.flush()
-        self._merge(record)
+        with self._lock:
+            self._require_writable("add_record")
+            self._handle.write(_frame(json.dumps(record.to_payload())))
+            if flush:
+                self._handle.flush()
+            self._merge(record)
 
     def add(self, op_indices: Sequence[int], *,
             device: Optional[str] = None,
@@ -519,48 +741,107 @@ class ArchitectureArchive:
         if ops.ndim != 2 or ops.shape[1] != self.num_layers:
             raise ValueError(
                 f"ops must be (N, {self.num_layers}), got {ops.shape}")
+        self._require_writable("add_population")
 
         def cell(array, i):
             return None if array is None else float(array[i])
 
-        for i, row in enumerate(ops.tolist()):
-            self.add(row, device=device,
-                     latency_ms=cell(latency_ms, i),
-                     energy_mj=cell(energy_mj, i),
-                     measured_latency_ms=cell(measured_latency_ms, i),
-                     measured_energy_mj=cell(measured_energy_mj, i),
-                     macs_m=cell(macs_m, i), params_m=cell(params_m, i),
-                     score=cell(score, i),
-                     engine=engine, seed=seed,
-                     config_fingerprint=config_fingerprint, flush=False)
-        self._handle.flush()
+        with self._lock:
+            for i, row in enumerate(ops.tolist()):
+                self.add(row, device=device,
+                         latency_ms=cell(latency_ms, i),
+                         energy_mj=cell(energy_mj, i),
+                         measured_latency_ms=cell(measured_latency_ms, i),
+                         measured_energy_mj=cell(measured_energy_mj, i),
+                         macs_m=cell(macs_m, i), params_m=cell(params_m, i),
+                         score=cell(score, i),
+                         engine=engine, seed=seed,
+                         config_fingerprint=config_fingerprint, flush=False)
+            self._handle.flush()
         return len(ops)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> str:
+        """Cut a fresh segment covering the entire WAL written so far.
+
+        The next open of this archive mmaps the segment and replays only
+        lines appended after this call.  Returns the committed segment
+        directory.  Requires a writable archive (compaction must pin the
+        exact WAL offset it covers).
+        """
+        with self._lock:
+            self._require_writable("compact")
+            self._handle.flush()
+            wal_offset = os.path.getsize(self.path)
+            self._ensure_records()
+            snapshot = self.index()
+            payloads = [self._records[key].to_payload()
+                        for key in self._order]
+            return write_segment(
+                self.path,
+                num_layers=self.num_layers,
+                num_operators=self.num_operators,
+                devices=snapshot.devices,
+                cost_metrics=DEVICE_COST_METRICS,
+                keys=tuple(self._order),
+                ops=snapshot.ops, cost=snapshot.cost,
+                score=snapshot.score, macs_m=snapshot.macs_m,
+                params_m=snapshot.params_m,
+                payloads=payloads, wal_offset=wal_offset)
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._order)
+        with self._lock:
+            return len(self._order)
 
     def __contains__(self, op_indices) -> bool:
-        return arch_key(tuple(op_indices), self.num_operators) in self._records
+        key = arch_key(tuple(op_indices), self.num_operators)
+        with self._lock:
+            return key in self._row_of
 
     def get(self, op_indices) -> Optional[ArchRecord]:
         """The merged record for a genotype, or ``None``."""
-        return self._records.get(
-            arch_key(tuple(op_indices), self.num_operators))
+        key = arch_key(tuple(op_indices), self.num_operators)
+        with self._lock:
+            if key not in self._row_of:
+                return None
+            self._ensure_records()
+            return self._records.get(key)
 
     def records(self) -> Iterator[ArchRecord]:
         """Merged records in first-seen order."""
-        for key in self._order:
-            yield self._records[key]
+        with self._lock:
+            self._ensure_records()
+            materialized = [self._records[key] for key in self._order]
+        yield from materialized
 
     def index(self) -> ArchiveIndex:
-        """The stacked numpy index (cached until the next append)."""
-        if self._index is None:
-            self._index = ArchiveIndex.from_records(
-                [self._records[key] for key in self._order], self.num_layers)
-        return self._index
+        """An immutable stacked snapshot (cached until the next append).
+
+        When the archive booted from a segment and nothing was appended
+        since, the snapshot's arrays are the mmap'd segment arrays — zero
+        copies, shared across worker processes.  After appends it is a
+        frozen copy of the incrementally-extended live arrays.
+        """
+        with self._lock:
+            if self._snapshot is None:
+                self._snapshot = self._build_snapshot()
+            return self._snapshot
+
+    def _build_snapshot(self) -> ArchiveIndex:
+        if self._live is not None:
+            return self._live.snapshot(tuple(self._order))
+        if self._segment is not None:
+            segment = self._segment
+            return ArchiveIndex(
+                ops=segment.ops, keys=segment.keys, score=segment.score,
+                macs_m=segment.macs_m, params_m=segment.params_m,
+                devices=segment.devices, cost=segment.cost)
+        return ArchiveIndex.from_records([], self.num_layers)
 
     def stats(self) -> dict:
         """Summary counters for the ``/stats`` endpoint and ``repro query``."""
@@ -578,15 +859,25 @@ class ArchitectureArchive:
             "devices": per_device,
             "with_score": int(np.isfinite(index.score).sum()),
             "with_macs": int(np.isfinite(index.macs_m).sum()),
+            "read_only": self.read_only,
+            "boot": dict(self.boot),
         }
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        self._handle.flush()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._handle is None or self._handle.closed
 
     def __enter__(self) -> "ArchitectureArchive":
         return self

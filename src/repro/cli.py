@@ -7,8 +7,12 @@ Gives the library a downstream-usable surface without writing any code:
 * ``predict``   — predict all metrics for an architecture (or a batch file).
 * ``evaluate``  — Table-2-style evaluation row for an architecture.
 * ``sweep``     — one search per target; prints the comparison table.
-* ``serve``     — batched JSON prediction/query API over HTTP.
+* ``serve``     — batched JSON prediction/query API over HTTP
+  (``--workers N`` forks an ``SO_REUSEPORT`` group sharing the archive's
+  memory-mapped segments).
 * ``query``     — offline top-k / Pareto / nearest queries over an archive.
+* ``compact``   — cut a memory-mapped segment so the next archive open is
+  an mmap + tail replay instead of a full log parse.
 
 Architectures are passed as comma-separated operator indices, e.g.
 ``--arch 1,1,5,5,...`` (one per searchable layer), matching
@@ -20,7 +24,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
+import socket
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -335,6 +342,19 @@ def cmd_serve(args) -> int:
 
     space = _space(args)
     device = _device(args)
+    workers = max(1, args.workers)
+    multi = workers > 1
+    if multi and not hasattr(socket, "SO_REUSEPORT"):
+        raise SystemExit("error: --workers > 1 needs SO_REUSEPORT, which "
+                         "this platform does not provide")
+    if multi and not hasattr(os, "fork"):
+        raise SystemExit("error: --workers > 1 needs os.fork, which this "
+                         "platform does not provide")
+
+    # everything forked workers share is built BEFORE the fork, while the
+    # process is still single-threaded: the predictor (copy-on-write numpy
+    # arrays) and the archive, whose mmap'd segment pages are physically
+    # shared across the whole worker group through the page cache
     latency_model = LatencyModel(space, device)
     energy_model = EnergyModel(space, device, latency_model=latency_model)
     predictor = _metric_predictor(args.metric, space, latency_model,
@@ -342,9 +362,38 @@ def cmd_serve(args) -> int:
     archive = None
     if args.archive:
         try:
-            archive = ArchitectureArchive(args.archive, space=space)
+            # a worker group has no single writer, so it opens read-only
+            # (multi-process appends to one WAL would interleave frames)
+            archive = ArchitectureArchive(args.archive, space=space,
+                                          read_only=multi)
         except ArchiveError as exc:
             raise SystemExit(f"error: {exc}")
+
+    host, port = args.host, args.port
+    probe = None
+    if multi and port == 0:
+        # reserve one concrete port for the whole SO_REUSEPORT group; the
+        # probe stays open until worker 0's real listener has joined
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((host, 0))
+        port = probe.getsockname()[1]
+
+    children: List[int] = []
+    worker_id = 0
+    for i in range(1, workers):
+        pid = os.fork()
+        if pid == 0:
+            worker_id = i
+            children = []
+            break
+        children.append(pid)
+    if probe is not None and worker_id != 0:
+        probe.close()
+        probe = None
+
+    # per process from here: the batcher thread and the listener socket
+    # must be created after the fork
     service = ArchiveService(
         space, predictor,
         metric_name=METRIC_ALIASES.get(args.metric, args.metric),
@@ -352,12 +401,18 @@ def cmd_serve(args) -> int:
         archive=archive,
         window_s=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
+        default_page_limit=args.page_limit or None,
     )
-    server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
-    host, port = server.server_address[:2]
-    # flushed so wrappers (the CI smoke test) can scrape the bound port
-    print(f"serving on http://{host}:{port}", flush=True)
+    server = make_server(service, host=host, port=port,
+                         verbose=args.verbose, reuse_port=multi)
+    bound_host, bound_port = server.server_address[:2]
+    if probe is not None:
+        probe.close()
+    if worker_id == 0:
+        # flushed so wrappers (the CI smoke test) can scrape the bound port
+        suffix = f" ({workers} workers)" if multi else ""
+        print(f"serving on http://{bound_host}:{bound_port}{suffix}",
+              flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -365,7 +420,39 @@ def cmd_serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+        for pid in children:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
     return 0
+
+
+def cmd_compact(args) -> int:
+    try:
+        # geometry comes from the archive header; a missing file is an error
+        archive = ArchitectureArchive(args.archive)
+    except ArchiveError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        start = time.perf_counter()
+        segment = archive.compact()
+        print(json.dumps({
+            "archive": args.archive,
+            "segment": segment,
+            "records": len(archive),
+            "wall_seconds": round(time.perf_counter() - start, 3),
+        }, indent=2))
+        return 0
+    except ArchiveError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        archive.close()
 
 
 def _parse_budgets(pairs) -> dict:
@@ -573,6 +660,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "requests to coalesce into one batch")
     p_serve.add_argument("--max-batch", type=int, default=8192,
                          help="dispatch a batch early at this many archs")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="serve from this many processes accepting on "
+                              "one SO_REUSEPORT socket group; the archive "
+                              "is opened read-only and its mmap'd segments "
+                              "are shared across the group (compact the "
+                              "archive first: repro compact)")
+    p_serve.add_argument("--page-limit", type=int, default=0,
+                         help="default page size for /query, /pareto and "
+                              "/nearest when the request sends no 'limit' "
+                              "(0 = unpaginated responses by default)")
     p_serve.add_argument("--tiny", action="store_true")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each HTTP request")
@@ -602,6 +699,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="feasibility budget for top-k, repeatable — "
                               "e.g. --budget latency_ms=24 --budget macs_m=300")
     p_query.set_defaults(func=cmd_query)
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="compact an archive into a memory-mapped segment so the next "
+             "open is an mmap + WAL-tail replay, not a full log parse")
+    p_compact.add_argument("--archive", required=True,
+                           help="archive file written by a search or "
+                                "campaign")
+    p_compact.set_defaults(func=cmd_compact)
 
     p_trace = sub.add_parser(
         "trace-summary",

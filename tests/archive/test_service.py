@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -216,6 +217,26 @@ class TestHTTPEndpoints:
         httpd.server_close()
         service.close()
 
+    def test_pagination_cursor(self, server):
+        base, _ = server
+        full = post(base, "/query", {"k": 30})
+        first = post(base, "/query", {"k": 30, "limit": 7})
+        assert first["count"] == 7
+        assert first["total"] == full["count"]
+        assert first["next"] == 7
+        last = post(base, "/query", {"k": 30, "limit": 7,
+                                     "offset": full["count"] - 2})
+        assert last["count"] == 2
+        assert last["next"] is None
+
+    def test_bad_pagination_is_400(self, server):
+        base, _ = server
+        for body in ({"k": 5, "limit": 0}, {"k": 5, "offset": -1},
+                     {"k": 5, "limit": "many"}):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                post(base, "/query", body)
+            assert info.value.code == 400
+
     def test_query_without_archive_is_400(self, tiny_space, analytic):
         service = ArchiveService(tiny_space, analytic, window_s=0.0)
         httpd = make_server(service, port=0)
@@ -231,3 +252,106 @@ class TestHTTPEndpoints:
             httpd.shutdown()
             httpd.server_close()
             service.close()
+
+
+class _CountingPredictor:
+    """Wraps a predictor, recording exactly which rows reach a forward."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.rows_seen = 0
+
+    def predict_population(self, ops):
+        self.calls += 1
+        self.rows_seen += len(ops)
+        return self.inner.predict_population(ops)
+
+
+class _ExplodingArchive:
+    """An archive stub whose stats() raises, as a failing mmap would."""
+
+    def stats(self):
+        raise RuntimeError("stats exploded")
+
+    def close(self):
+        pass
+
+
+class TestRegressions:
+    """Named regression tests for the serving-stack bugfixes.
+
+    Each of these fails against the pre-fix code: do_GET without error
+    handling killed the connection instead of answering 500; /shutdown
+    stopped the accept loop but leaked the batcher thread and archive
+    handle; a timed-out predict caller's request was still forwarded and
+    counted.
+    """
+
+    def test_get_stats_failure_returns_500_json(self, tiny_space, analytic):
+        """A raising handler on GET must yield a JSON 500, not a dead
+        socket (pre-fix: http.client.RemoteDisconnected)."""
+        service = ArchiveService(tiny_space, analytic, window_s=0.0,
+                                 archive=_ExplodingArchive())
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                get(base, "/stats")
+            assert info.value.code == 500
+            assert "stats exploded" in json.loads(info.value.read())["error"]
+            # the server survives and keeps answering
+            assert get(base, "/health") == {"ok": True}
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+    def test_shutdown_closes_batcher_and_archive(self, tmp_path, tiny_space,
+                                                 analytic):
+        """POST /shutdown must release service resources, not just stop
+        accepting (pre-fix: batcher thread and store handle leaked)."""
+        archive = ArchitectureArchive(str(tmp_path / "arc.jsonl"),
+                                      space=tiny_space)
+        service = ArchiveService(tiny_space, analytic, window_s=0.0,
+                                 archive=archive)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        assert post(base, "/shutdown", {})["shutting_down"] is True
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        # service.close() runs on the shutdown thread right after the
+        # accept loop exits; give it a moment, then assert it happened
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not archive.closed:
+            time.sleep(0.01)
+        assert archive.closed
+        assert not service.batcher._thread.is_alive()
+        service.close()   # idempotent: a second close must be a no-op
+        httpd.server_close()
+
+    def test_timed_out_predict_is_cancelled_at_dispatch(self, tiny_space,
+                                                        analytic):
+        """An abandoned request must not reach the predictor or drift the
+        throughput counters (pre-fix: it was forwarded and counted)."""
+        counting = _CountingPredictor(analytic)
+        batcher = BatchingPredictor(counting, tiny_space, window_s=1.0)
+        rng = np.random.default_rng(11)
+        abandoned = tiny_space.sample_indices(5, rng)
+        served = tiny_space.sample_indices(3, rng)
+        with pytest.raises(TimeoutError):
+            batcher.predict(abandoned, timeout=0.1)
+        out = batcher.predict(served, timeout=10.0)
+        assert np.array_equal(out, analytic.predict_population(served))
+        assert counting.rows_seen == len(served)   # abandoned rows never ran
+        stats = batcher.stats()
+        assert stats["predict_requests"] == 2
+        assert stats["predict_cancelled"] == 1
+        assert stats["predict_archs"] == len(served)
+        assert stats["largest_batch"] == len(served)
+        batcher.close()

@@ -232,3 +232,117 @@ class TestIndexAndStats:
         # last write wins for the duplicate genotype
         assert arc.get((0, 1, 2, 3)).devices["dev"]["latency_ms"] == 3.0
         arc.close()
+
+
+class TestConcurrency:
+    def test_concurrent_index_and_merge_race(self, tmp_path):
+        """Readers snapshotting index() while writers merge must never see
+        a torn view (pre-fix: _merge dropped _index while from_records was
+        re-stacking it on another thread)."""
+        import sys
+        import threading
+
+        arc = make_archive(tmp_path)
+        rng = np.random.default_rng(0)
+        # a big seed population makes every index() rebuild slow enough to
+        # overlap with merges (the pre-fix failure needs that overlap)
+        seed_ops = rng.integers(0, K, size=(1500, L))
+        arc.add_population(seed_ops, device="xavier",
+                           latency_ms=rng.uniform(1, 9, 1500))
+
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            local = np.random.default_rng(threading.get_ident() % 2**31)
+            last = 0
+            while not stop.is_set():
+                # pre-fix, index() re-stacked every record with no lock:
+                # overlapping rebuilds raced _merge's cache drop, so a
+                # reader could observe a torn or *older* view (a slow
+                # rebuild overwriting a newer one)
+                try:
+                    index = arc.index()
+                    n = len(index)
+                    assert n >= last, f"index went backwards {last}->{n}"
+                    last = n
+                    assert index.ops.shape == (n, L)
+                    assert index.cost.shape[0] == n
+                    assert len(index.keys) == n
+                    assert list(index.devices) == sorted(index.devices)
+                    if n:
+                        row = int(local.integers(0, n))
+                        assert arch_key(index.ops[row], K) == index.keys[row]
+                except Exception as exc:
+                    failures.append(exc)
+                    stop.set()
+
+        # one writer appends fresh genotypes (the index must grow), the
+        # other merges new devices into existing rows (cells must widen)
+        devices = [f"dev-{chr(ord('a') + i)}" for i in range(12)]
+        seen = {arch_key(row, K) for row in seed_ops}
+        fresh = []
+        for a in range(K):
+            for b in range(K):
+                for c in range(K):
+                    for d in range(K):
+                        if len(fresh) == 200:
+                            break
+                        combo = (a, b, c, d)
+                        if arch_key(combo, K) not in seen:
+                            fresh.append(combo)
+
+        def growth_writer():
+            for i, combo in enumerate(fresh):
+                arc.add(combo, device=devices[i % len(devices)],
+                        latency_ms=float(i), score=50.0 + i)
+                try:
+                    # the post-append view must include the append
+                    assert len(arc.index()) == len(arc)
+                except Exception as exc:
+                    failures.append(exc)
+                    stop.set()
+                    return
+
+        def merge_writer(seed):
+            local = np.random.default_rng(seed)
+            for _ in range(200):
+                ops = seed_ops[int(local.integers(0, len(seed_ops)))]
+                device = devices[int(local.integers(0, len(devices)))]
+                arc.add(ops, device=device,
+                        latency_ms=float(local.uniform(1, 9)),
+                        score=float(local.uniform(40, 80)))
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writers = [threading.Thread(target=growth_writer),
+                   threading.Thread(target=merge_writer, args=(202,))]
+        # an index rebuild is ~1 ms; with the default 5 ms GIL switch
+        # interval it would rarely be preempted and the race would hide
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(5e-5)
+        try:
+            for t in readers + writers:
+                t.start()
+            for t in writers:
+                t.join()
+            stop.set()
+            for t in readers:
+                t.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not failures
+
+        # the live view converged to exactly what a fresh replay rebuilds
+        arc.flush()
+        reopened = make_archive(tmp_path)
+        live, replayed = arc.index(), reopened.index()
+        assert live.keys == replayed.keys
+        assert live.devices == replayed.devices
+        np.testing.assert_array_equal(np.asarray(live.ops),
+                                      np.asarray(replayed.ops))
+        np.testing.assert_array_equal(np.asarray(live.cost),
+                                      np.asarray(replayed.cost))
+        np.testing.assert_array_equal(np.asarray(live.score),
+                                      np.asarray(replayed.score))
+        arc.close()
+        reopened.close()
