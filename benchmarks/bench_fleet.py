@@ -1,0 +1,255 @@
+"""Device-fleet benchmark: proxy transfer vs per-device MLP campaigns.
+
+The fleet subsystem's claim ("One Proxy Device Is Enough", PAPERS.md) is
+that retargeting the search to a new device needs a ~100-pair monotone
+calibration map, not the paper's fresh multi-thousand-measurement campaign
++ MLP per device.  This benchmark quantifies that claim on a generated
+N-device fleet (all four families):
+
+* **calibration sweep** — transfer accuracy (RMSE + Kendall-τ vs the
+  target device's noise-free roofline truth) as the calibration set grows;
+* **per-device MLP baseline** — for a subset of devices, a full
+  campaign-protocol MLP (thousands of measured pairs) fit from scratch,
+  timed, and scored on the same held-out evaluation set;
+* **retarget throughput** — one archive sweep fanned out to every device.
+
+``--check`` asserts the acceptance gates:
+
+1. the fleet has >= 10 devices and every device gets a constraint report,
+2. transfer Kendall-τ is within 0.05 of the per-device MLP's τ on every
+   compared device,
+3. the calibration set is >= 50x smaller than the MLP campaign,
+4. the transfer map preserves the proxy predictor's ranking exactly
+   (τ_transfer == τ_proxy, the strict-monotonicity contract).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --calibration 40 \
+        --mlp-samples 2000 --mlp-devices 2 --eval 300 --check   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.experiments.shared import fit_latency_predictor
+from repro.fleet import (
+    ProxyTransfer,
+    evaluate_transfer,
+    generate_fleet,
+    retarget_index,
+)
+from repro.hardware.latency import LatencyModel
+from repro.predictor.dataset import collect_latency_dataset
+from repro.predictor.metrics import kendall_tau, rmse
+from repro.predictor.mlp import MLPPredictor
+from repro.search_space.space import SearchSpace
+
+_FAMILIES = ("phone", "mcu", "server-cpu", "edge-gpu")
+
+
+def build_fleet(per_family: int):
+    fleet = []
+    for family in _FAMILIES:
+        fleet.extend(generate_fleet(family, per_family))
+    return fleet
+
+
+def fit_device_mlp(space, device, num_samples: int, epochs: int,
+                   seed: int = 7):
+    """The retargeting cost the transfer maps avoid: a fresh measurement
+    campaign + MLP fit on ONE target device (campaign protocol at reduced
+    size — enough to reach its asymptotic rank accuracy regime)."""
+    rng = np.random.default_rng([seed, 3])
+    model = LatencyModel(space, device)
+    start = time.perf_counter()
+    data = collect_latency_dataset(model, num_samples, rng)
+    train, _ = data.split(0.9, rng)
+    predictor = MLPPredictor(space, seed=seed)
+    predictor.fit(train, epochs=epochs, batch_size=512, lr=3e-3,
+                  weight_decay=0.0)
+    return predictor, time.perf_counter() - start
+
+
+def run(args) -> dict:
+    space = SearchSpace()
+    fleet = build_fleet(args.per_family)
+    proxy_model = LatencyModel(space)
+    proxy = proxy_model.device
+
+    start = time.perf_counter()
+    predictor, proxy_rmse = fit_latency_predictor(space, proxy_model)
+    proxy_seconds = time.perf_counter() - start
+
+    # --- calibration-size sweep -------------------------------------
+    sweep = []
+    sizes = sorted(set([max(10, args.calibration // 4),
+                        max(20, args.calibration // 2), args.calibration]))
+    for size in sizes:
+        start = time.perf_counter()
+        transfer = ProxyTransfer.calibrate(
+            predictor, space, fleet, num_samples=size, seed=0,
+            proxy_device=proxy.name)
+        calibrate_s = time.perf_counter() - start
+        rows = evaluate_transfer(transfer, predictor, space, fleet,
+                                 num_eval=args.eval)
+        sweep.append({
+            "calibration_size": size,
+            "calibrate_wall_seconds": calibrate_s,
+            "kendall_tau_min": min(r["kendall_tau"] for r in rows),
+            "kendall_tau_mean": float(np.mean([r["kendall_tau"]
+                                               for r in rows])),
+            "devices": rows,
+        })
+    final = sweep[-1]
+    transfer = ProxyTransfer.calibrate(
+        predictor, space, fleet, num_samples=args.calibration, seed=0,
+        proxy_device=proxy.name)
+
+    # --- per-device MLP baseline ------------------------------------
+    # one comparison device per family, round-robin, to bound wall time
+    compared = [fleet[i * args.per_family % len(fleet)]
+                for i in range(min(args.mlp_devices, len(fleet)))]
+    eval_rng = np.random.default_rng([1234, 2])
+    eval_ops = space.sample_indices(args.eval, eval_rng)
+    proxy_values = predictor.predict_population(eval_ops)
+    comparisons = []
+    for device in compared:
+        truth = LatencyModel(space, device).latency_many(eval_ops)
+        mlp, mlp_seconds = fit_device_mlp(space, device, args.mlp_samples,
+                                          args.mlp_epochs)
+        mlp_values = mlp.predict_population(eval_ops)
+        transferred = transfer.transfer_many(device.name, proxy_values)
+        comparisons.append({
+            "device": device.name,
+            "transfer_kendall_tau": kendall_tau(transferred, truth),
+            "transfer_rmse_ms": rmse(transferred, truth),
+            "proxy_kendall_tau": kendall_tau(proxy_values, truth),
+            "mlp_kendall_tau": kendall_tau(mlp_values, truth),
+            "mlp_rmse_ms": rmse(mlp_values, truth),
+            "mlp_wall_seconds": mlp_seconds,
+            "mlp_samples": args.mlp_samples,
+            "calibration_samples": args.calibration,
+            "data_ratio": args.mlp_samples / args.calibration,
+        })
+
+    # --- retarget throughput ----------------------------------------
+    class _Index:
+        """Archive-shaped view of a sampled population (ops/score/keys)."""
+        def __init__(self, ops, score):
+            self.ops, self.score = ops, score
+            self.keys = [",".join(map(str, row)) for row in ops.tolist()]
+
+        def __len__(self):
+            return len(self.ops)
+
+    sweep_rng = np.random.default_rng(99)
+    archive_ops = space.sample_indices(args.archive_size, sweep_rng)
+    index = _Index(archive_ops,
+                   sweep_rng.uniform(60, 76, size=len(archive_ops)))
+    start = time.perf_counter()
+    report = retarget_index(index, transfer, predictor,
+                            target_ms=args.target)
+    retarget_s = time.perf_counter() - start
+
+    results = {
+        "proxy_device": proxy.name,
+        "proxy_predictor_rmse_ms": proxy_rmse,
+        "proxy_predictor_wall_seconds": proxy_seconds,
+        "num_devices": len(fleet),
+        "calibration_sweep": sweep,
+        "transfer_kendall_tau_min": final["kendall_tau_min"],
+        "transfer_kendall_tau_mean": final["kendall_tau_mean"],
+        "mlp_comparison": comparisons,
+        "retarget": {
+            "archive_size": len(index),
+            "num_devices": report["num_devices"],
+            "target_ms": report["target_ms"],
+            "wall_seconds": retarget_s,
+            "device_evals_per_second":
+                len(index) * report["num_devices"] / max(retarget_s, 1e-9),
+            "satisfied_frac_by_device": {
+                r["device"]: r["satisfied_frac"]
+                for r in report["devices"]},
+        },
+    }
+
+    if args.check:
+        assert len(fleet) >= 10, \
+            f"fleet has {len(fleet)} devices, need >= 10"
+        assert report["num_devices"] == len(fleet)
+        assert all("satisfied_frac" in r and "pareto_size" in r
+                   for r in report["devices"]), \
+            "missing per-device constraint/Pareto reports"
+        for row in final["devices"]:
+            assert abs(row["kendall_tau"] - row["proxy_kendall_tau"]) \
+                < 1e-12, (
+                f"{row['device']}: transfer map degraded the proxy ranking "
+                f"({row['kendall_tau']} != {row['proxy_kendall_tau']})")
+        for comp in comparisons:
+            assert comp["data_ratio"] >= 50, (
+                f"{comp['device']}: calibration uses only "
+                f"{comp['data_ratio']:.0f}x less data, need >= 50x")
+            gap = comp["mlp_kendall_tau"] - comp["transfer_kendall_tau"]
+            assert gap <= 0.05, (
+                f"{comp['device']}: transfer tau "
+                f"{comp['transfer_kendall_tau']:.3f} trails the per-device "
+                f"MLP ({comp['mlp_kendall_tau']:.3f}) by {gap:.3f} > 0.05")
+        results["checks_passed"] = True
+
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--per-family", type=int, default=3,
+                        help="fleet members per family (4 families)")
+    parser.add_argument("--calibration", type=int, default=100,
+                        help="calibration pairs per device")
+    parser.add_argument("--eval", type=int, default=500,
+                        help="held-out evaluation architectures")
+    parser.add_argument("--mlp-devices", type=int, default=4,
+                        help="devices given a full per-device MLP baseline")
+    parser.add_argument("--mlp-samples", type=int, default=5000,
+                        help="measurement campaign size per baseline MLP")
+    parser.add_argument("--mlp-epochs", type=int, default=150,
+                        help="baseline MLP training epochs")
+    parser.add_argument("--archive-size", type=int, default=2000,
+                        help="archive sweep size for retarget throughput")
+    parser.add_argument("--target", type=float, default=25.0,
+                        help="per-device latency budget (ms)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the fleet acceptance gates")
+    args = parser.parse_args()
+
+    results = run(args)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    rows = [[c["device"], f"{c['transfer_kendall_tau']:.3f}",
+             f"{c['mlp_kendall_tau']:.3f}",
+             f"{c['data_ratio']:.0f}x", f"{c['mlp_wall_seconds']:.1f}"]
+            for c in results["mlp_comparison"]]
+    print(render_table(
+        ["device", "transfer τ", "per-device MLP τ", "less data",
+         "MLP fit (s)"],
+        rows,
+        title=f"proxy transfer ({results['mlp_comparison'][0]['calibration_samples']} pairs) "
+              f"vs per-device campaigns — "
+              f"{results['num_devices']} devices, "
+              f"fleet τ min {results['transfer_kendall_tau_min']:.3f}"))
+    throughput = results["retarget"]
+    print(f"\nretarget sweep: {throughput['archive_size']} archs x "
+          f"{throughput['num_devices']} devices in "
+          f"{throughput['wall_seconds']:.2f}s "
+          f"({throughput['device_evals_per_second']:.0f} device-evals/s)")
+    path = save_json("BENCH_fleet", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,19 @@ python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 # and is uploaded as the bench-step CI artifact.
 python benchmarks/bench_step_replay.py --check
 
+# The fleet subsystem's guarantees get a named run: strict-monotone
+# transfer maps (Hypothesis properties), fleet-name resolution everywhere,
+# and the unknown-device 400s on the archive service.
+python -m pytest -x -q tests/fleet/ \
+    tests/archive/test_service.py::TestHTTPEndpoints::test_unknown_device_is_400_naming_known
+
+# Fleet benchmark at reduced size: 12 generated devices, 40-pair
+# calibration vs 2000-pair per-device MLP campaigns (the 50x-less-data /
+# tau-within-0.05 acceptance gates hold at this size too); BENCH_fleet.json
+# is kept as a CI artifact.
+python benchmarks/bench_fleet.py --calibration 40 --mlp-samples 2000 \
+    --mlp-devices 2 --eval 300 --archive-size 500 --check
+
 # Serving benchmark at reduced size: asserts segment-vs-log-replay query
 # parity, zero failed requests under mixed concurrent load, and the QPS
 # floor / p99 ceiling (the >= 5x boot-speedup gate only applies at the

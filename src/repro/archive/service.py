@@ -267,10 +267,30 @@ class ArchiveService:
             "predictions": predictions.tolist(),
         }
 
+    def _check_device(self, index, payload: dict) -> None:
+        """400 on an unknown payload ``device`` instead of silently ignoring.
+
+        Global objectives (``score``, ``macs_m``) never consult the device,
+        so without this check a typoed or un-retargeted device name would
+        return a 200 whose rows simply lack that device's costs.  Only the
+        explicit payload value is validated — the server-side default
+        device keeps its historical behaviour.  Raises ``ValueError``,
+        which ``_dispatch`` maps to a JSON 400 naming the archive's
+        devices (fleet devices join the list once ``repro fleet retarget
+        --write-back`` records them).
+        """
+        device = payload.get("device")
+        if device and device not in index.devices:
+            known = ", ".join(index.devices) or "(none)"
+            raise ValueError(
+                f"unknown device {device!r} for this archive; "
+                f"known devices: {known}")
+
     def query(self, payload: dict) -> dict:
         self._count("query")
         archive = self._require_archive()
         index = archive.index()
+        self._check_device(index, payload)
         device = payload.get("device") or self.device_name or None
         rows = queries.top_k(
             index,
@@ -288,6 +308,7 @@ class ArchiveService:
         self._count("pareto")
         archive = self._require_archive()
         index = archive.index()
+        self._check_device(index, payload)
         device = payload.get("device") or self.device_name
         if not device:
             raise ValueError("pareto needs a device (body or --device)")
@@ -304,13 +325,15 @@ class ArchiveService:
         self._count("nearest")
         archive = self._require_archive()
         index = archive.index()
+        self._check_device(index, payload)
         arch = payload.get("arch")
         if not isinstance(arch, list):
             raise ValueError("body needs an 'arch' list of operator indices")
         rows, distances = queries.hamming_neighbors(
             index, arch, int(payload.get("k", 5)))
         page, next_offset, total, offset = self._page(payload, rows)
-        results = queries.describe_rows(index, page)
+        results = queries.describe_rows(index, page,
+                                        payload.get("device") or None)
         page_distances = distances[offset:offset + len(page)]
         for entry, distance in zip(results, page_distances.tolist()):
             entry["hamming_layers"] = distance

@@ -13,6 +13,9 @@ Gives the library a downstream-usable surface without writing any code:
 * ``query``     — offline top-k / Pareto / nearest queries over an archive.
 * ``compact``   — cut a memory-mapped segment so the next archive open is
   an mmap + tail replay instead of a full log parse.
+* ``fleet``     — parametric device fleets: list generated devices,
+  retarget an archive sweep to N devices through proxy transfer maps, or
+  run one constrained search against a fleet device.
 
 Architectures are passed as comma-separated operator indices, e.g.
 ``--arch 1,1,5,5,...`` (one per searchable layer), matching
@@ -38,7 +41,10 @@ from .core.lightnas import LightNAS, LightNASConfig, METRIC_ALIASES
 from .eval.imagenet import ImageNetEvaluator
 from .experiments.reporting import render_table
 from .experiments.shared import fit_energy_predictor, fit_latency_predictor
-from .hardware.device import resolve_device
+from .hardware.device import device_hints, known_devices, resolve_device
+# importing the fleet package registers its device-name resolver, so every
+# --device flag (and the archive service) accepts fleet names like phone-03
+from . import fleet as fleet_pkg
 from .hardware.energy import EnergyModel
 from .hardware.flops import count_macs, count_macs_many, count_params, \
     count_params_many
@@ -77,6 +83,20 @@ def _device(args):
         return resolve_device(getattr(args, "device", "xavier"))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+
+
+def _device_help(default: str = "") -> str:
+    """``--device`` help text derived from the device registry.
+
+    Static names come from ``DEVICE_ALIASES`` (deduplicated), dynamic name
+    patterns from the registered resolvers (fleet families) — so the help
+    can never drift from what ``resolve_device`` actually accepts.
+    """
+    names = ", ".join(known_devices())
+    hints = device_hints()
+    extra = f"; fleet devices: {', '.join(hints)}" if hints else ""
+    tail = f" (default {default})" if default else ""
+    return f"device profile: {names}{extra}{tail}"
 
 
 def _read_arch_file(path: str, space: SearchSpace) -> np.ndarray:
@@ -583,6 +603,181 @@ def cmd_trace_summary(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Fleet commands
+# ----------------------------------------------------------------------
+
+#: Default retargeting fleet: three members of every family (12 devices).
+_DEFAULT_FLEET_SPEC = "phone=3,mcu=3,server-cpu=3,edge-gpu=3"
+
+
+def _parse_fleet_devices(args) -> List:
+    """Resolve ``--devices`` (explicit names) or ``--fleet`` (FAMILY=N
+    spec) into a list of :class:`DeviceProfile`, preserving order."""
+    if getattr(args, "devices", ""):
+        names = [n.strip() for n in args.devices.split(",") if n.strip()]
+        if not names:
+            raise SystemExit("error: --devices names no devices")
+        try:
+            return [resolve_device(name) for name in names]
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    spec = getattr(args, "fleet", "") or _DEFAULT_FLEET_SPEC
+    seed = getattr(args, "fleet_seed", fleet_pkg.DEFAULT_FLEET_SEED)
+    devices = []
+    for part in spec.split(","):
+        family, sep, count = part.strip().partition("=")
+        if not sep:
+            raise SystemExit(
+                f"error: --fleet needs FAMILY=COUNT pairs, got {part!r}")
+        try:
+            devices.extend(
+                fleet_pkg.generate_fleet(family, int(count), seed))
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    return devices
+
+
+def _proxy_predictor(space: SearchSpace, latency_model: LatencyModel):
+    """The proxy device's campaign latency predictor (cached)."""
+    samples = 1500 if space.num_layers <= 8 else 10_000
+    predictor, _ = fit_latency_predictor(space, latency_model,
+                                         num_samples=samples)
+    return predictor
+
+
+def cmd_fleet_list(args) -> int:
+    from .fleet import FLEET_FAMILIES, generate_fleet
+    if args.family:
+        try:
+            devices = generate_fleet(args.family, args.count, args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        if args.json:
+            print(json.dumps([{
+                "name": d.name,
+                "batch_size": d.batch_size,
+                "peak_macs_per_ms": d.peak_macs_per_ms,
+                "depthwise_efficiency": d.depthwise_efficiency,
+                "bandwidth_bytes_per_ms": d.bandwidth_bytes_per_ms,
+                "kernel_launch_ms": d.kernel_launch_ms,
+                "network_overhead_ms": d.network_overhead_ms,
+                "fusion_saving_ms": d.fusion_saving_ms,
+            } for d in devices], indent=2))
+            return 0
+        rows = [[d.name, d.batch_size, f"{d.peak_macs_per_ms:.3g}",
+                 f"{d.bandwidth_bytes_per_ms:.3g}",
+                 f"{d.depthwise_efficiency:.3f}",
+                 f"{d.kernel_launch_ms:.4f}", f"{d.network_overhead_ms:.2f}"]
+                for d in devices]
+        print(render_table(
+            ["device", "batch", "MACs/ms", "bytes/ms", "dw eff",
+             "launch ms", "overhead ms"],
+            rows, title=f"fleet family {args.family!r} (seed {args.seed})"))
+        return 0
+    spec_rows = [[spec.name, spec.batch_size,
+                  f"{spec.speed[0]:g}-{spec.speed[1]:g}x", spec.description]
+                 for spec in FLEET_FAMILIES.values()]
+    print(render_table(
+        ["family", "batch", "speed vs proxy", "description"], spec_rows,
+        title="parametric device families — members resolve as FAMILY-NN"))
+    return 0
+
+
+def cmd_fleet_retarget(args) -> int:
+    from .fleet import ProxyTransfer, retarget_archive
+
+    space = _space(args)
+    devices = _parse_fleet_devices(args)
+    latency_model = LatencyModel(space)
+    proxy = latency_model.device
+    predictor = _proxy_predictor(space, latency_model)
+    try:
+        transfer = ProxyTransfer.calibrate(
+            predictor, space, devices, num_samples=args.calibration,
+            seed=args.seed, proxy_device=proxy.name)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        archive = ArchitectureArchive(args.archive, space=space)
+    except ArchiveError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        if not len(archive):
+            raise SystemExit(
+                f"error: archive {args.archive!r} holds no architectures")
+        report = retarget_archive(archive, transfer, predictor,
+                                  args.target, write_back=args.write_back)
+    finally:
+        archive.close()
+    print(json.dumps(report, indent=2))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"saved to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_fleet_search(args) -> int:
+    from .fleet import ProxyTransfer
+
+    space = _space(args)
+    try:
+        device = resolve_device(args.device)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    latency_model = LatencyModel(space)
+    proxy = latency_model.device
+    predictor = _proxy_predictor(space, latency_model)
+    transfer = ProxyTransfer.calibrate(
+        predictor, space, [device], num_samples=args.calibration,
+        seed=args.seed, proxy_device=proxy.name)
+    fleet_map = transfer.map_for(device.name)
+
+    # Strict monotonicity makes the transfer map bijective, so a latency
+    # budget on the target device is exactly a budget on the proxy:
+    # map(LAT) <= T  <=>  LAT <= map^-1(T).  The ordinary proxy-device
+    # search runs unchanged against the inverted target.
+    proxy_target = fleet_map.inverse(args.target)
+    if not (proxy_target > 0):
+        raise SystemExit(
+            f"error: target {args.target:g} ms maps to a non-positive "
+            f"proxy budget ({proxy_target:.3g} ms) — it is below what "
+            f"{device.name!r} can reach on this space")
+    overrides = {}
+    if args.epochs:
+        overrides["epochs"] = args.epochs
+    try:
+        config = LightNASConfig.paper(proxy_target, space=space,
+                                      seed=args.seed,
+                                      metric_name="latency", **overrides)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    result = LightNAS(config, predictor=predictor).search(
+        verbose=args.verbose)
+
+    arch = result.architecture
+    proxy_predicted = float(result.predicted_metric)
+    device_truth = LatencyModel(space, device).latency_ms(arch)
+    payload = result.summary()
+    payload.update({
+        "device": device.name,
+        "target_ms": float(args.target),
+        "proxy_device": proxy.name,
+        "proxy_target_ms": proxy_target,
+        "calibration_size": fleet_map.calibration_size,
+        "predicted_device_latency_ms": fleet_map.transfer(proxy_predicted),
+        "true_device_latency_ms": device_truth,
+        "satisfied": bool(device_truth <= args.target),
+    })
+    print(json.dumps(payload, indent=2))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"saved to {args.output}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -619,8 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="file with one comma-separated architecture "
                                 "per line; prints a batch prediction JSON")
     p_predict.add_argument("--device", default="xavier",
-                           help="device profile: xavier or edge-nano "
-                                "(default xavier)")
+                           help=_device_help(default="xavier"))
     p_predict.add_argument("--tiny", action="store_true")
     p_predict.set_defaults(func=cmd_predict)
 
@@ -651,7 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metric", choices=("latency", "energy", "macs"),
                          default="latency")
     p_serve.add_argument("--device", default="xavier",
-                         help="device profile: xavier or edge-nano")
+                         help=_device_help(default="xavier"))
     p_serve.add_argument("--archive", default="",
                          help="serve /query, /pareto and /nearest from this "
                               "archive file")
@@ -692,7 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="top-k objective: score (maximised) or a cost "
                               "metric such as latency_ms (minimised)")
     p_query.add_argument("--device", default="",
-                         help="device profile: xavier or edge-nano")
+                         help=_device_help())
     p_query.add_argument("--cost-metric", default="latency_ms",
                          help="x-axis of the --pareto frontier")
     p_query.add_argument("--budget", action="append", metavar="METRIC=VALUE",
@@ -708,6 +902,74 @@ def build_parser() -> argparse.ArgumentParser:
                            help="archive file written by a search or "
                                 "campaign")
     p_compact.set_defaults(func=cmd_compact)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="parametric device fleets + proxy-device retargeting")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    pf_list = fleet_sub.add_parser(
+        "list", help="list device families, or the members of one")
+    pf_list.add_argument("--family", default="",
+                         help="expand this family's members instead of "
+                              "listing all families")
+    pf_list.add_argument("--count", type=int, default=8,
+                         help="members to expand (default 8)")
+    pf_list.add_argument("--seed", type=int,
+                         default=fleet_pkg.DEFAULT_FLEET_SEED)
+    pf_list.add_argument("--json", action="store_true",
+                         help="emit full device constants as JSON")
+    pf_list.set_defaults(func=cmd_fleet_list)
+
+    pf_retarget = fleet_sub.add_parser(
+        "retarget",
+        help="sweep one archive against every fleet device: per-device "
+             "constraint satisfaction + Pareto fronts via proxy transfer")
+    pf_retarget.add_argument("--archive", required=True,
+                             help="archive file written by a search or "
+                                  "campaign")
+    pf_retarget.add_argument("--target", type=float, required=True,
+                             help="per-device latency budget (ms)")
+    pf_retarget.add_argument("--devices", default="",
+                             help="comma-separated device names (fleet or "
+                                  "static); overrides --fleet")
+    pf_retarget.add_argument("--fleet", default="",
+                             help="FAMILY=COUNT spec, e.g. phone=4,mcu=4 "
+                                  f"(default {_DEFAULT_FLEET_SPEC})")
+    pf_retarget.add_argument("--fleet-seed", type=int,
+                             default=fleet_pkg.DEFAULT_FLEET_SEED,
+                             help="fleet generation seed for --fleet")
+    pf_retarget.add_argument("--calibration", type=int, default=100,
+                             help="calibration architectures per device "
+                                  "(default 100)")
+    pf_retarget.add_argument("--seed", type=int, default=0,
+                             help="calibration sampling/measurement seed")
+    pf_retarget.add_argument("--write-back", action="store_true",
+                             help="append per-device predicted latencies "
+                                  "to the archive so repro query/serve "
+                                  "answer for fleet devices")
+    pf_retarget.add_argument("--output", default="",
+                             help="also write the report JSON to this path")
+    pf_retarget.add_argument("--tiny", action="store_true")
+    pf_retarget.set_defaults(func=cmd_fleet_retarget)
+
+    pf_search = fleet_sub.add_parser(
+        "search",
+        help="one constrained search against a fleet device (the latency "
+             "budget is inverted through the transfer map onto the proxy)")
+    pf_search.add_argument("--target", type=float, required=True,
+                           help="latency budget on the target device (ms)")
+    pf_search.add_argument("--device", required=True,
+                           help=_device_help())
+    pf_search.add_argument("--calibration", type=int, default=100)
+    pf_search.add_argument("--seed", type=int, default=0)
+    pf_search.add_argument("--epochs", type=int, default=0,
+                           help="override search epochs (0 = paper default)")
+    pf_search.add_argument("--output", default="",
+                           help="also write the result JSON to this path")
+    pf_search.add_argument("--verbose", action="store_true")
+    pf_search.add_argument("--tiny", action="store_true")
+    pf_search.set_defaults(func=cmd_fleet_search)
 
     p_trace = sub.add_parser(
         "trace-summary",

@@ -1,0 +1,166 @@
+"""Retarget one archive sweep (or one search) to an N-device fleet.
+
+The paper's promise is "you only search once"; this module extends it to
+"you only search once *per fleet*": given an archive of evaluated
+architectures and a calibrated :class:`~repro.fleet.transfer.ProxyTransfer`,
+:func:`retarget_index` answers, for every target device, *which archived
+architectures satisfy the latency budget there and which sit on that
+device's cost/score Pareto front* — one proxy-predictor forward over the
+archive, then one O(N log K) interpolation per device.
+
+``write_back=True`` appends the per-device predicted latencies to the
+archive under the standard ``latency_ms`` cost key, so fleet devices ride
+the exact same per-device cost dicts as measured ones — ``repro query
+--device phone-03 --pareto`` and the ``/query`` / ``/pareto`` service
+endpoints work on fleet devices with no new code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval.pareto import pareto_mask
+from ..hardware.device import DeviceProfile
+from ..hardware.latency import LatencyModel
+from ..search_space.space import SearchSpace
+from .transfer import ProxyTransfer
+
+__all__ = ["retarget_index", "retarget_archive", "device_report",
+           "evaluate_transfer"]
+
+
+def device_report(device: str, latencies: np.ndarray, target_ms: float,
+                  score: Optional[np.ndarray] = None,
+                  keys: Optional[Sequence[str]] = None) -> dict:
+    """Per-device constraint-satisfaction + Pareto summary (JSON-ready)."""
+    latencies = np.asarray(latencies, dtype=np.float64)
+    satisfied = np.isfinite(latencies) & (latencies <= target_ms)
+    report = {
+        "device": device,
+        "count": int(len(latencies)),
+        "target_ms": float(target_ms),
+        "satisfied": int(satisfied.sum()),
+        "satisfied_frac": float(satisfied.mean()) if len(latencies) else 0.0,
+        "latency_ms": {
+            "min": float(np.min(latencies)) if len(latencies) else None,
+            "median": float(np.median(latencies)) if len(latencies) else None,
+            "max": float(np.max(latencies)) if len(latencies) else None,
+        },
+    }
+    if score is not None:
+        score = np.asarray(score, dtype=np.float64)
+        valid = np.nonzero(np.isfinite(score) & np.isfinite(latencies))[0]
+        if valid.size:
+            front = valid[pareto_mask(latencies[valid], score[valid])]
+            front = front[np.argsort(latencies[front], kind="stable")]
+            report["pareto_size"] = int(len(front))
+            report["pareto_rows"] = front.tolist()
+            if keys is not None:
+                report["pareto_keys"] = [keys[r] for r in front.tolist()]
+            feasible = valid[satisfied[valid]]
+            if feasible.size:
+                best = feasible[int(np.argmax(score[feasible]))]
+                report["best_feasible"] = {
+                    "row": int(best),
+                    "score": float(score[best]),
+                    "latency_ms": float(latencies[best]),
+                    **({"key": keys[int(best)]} if keys is not None else {}),
+                }
+        else:
+            report["pareto_size"] = 0
+            report["pareto_rows"] = []
+    return report
+
+
+def retarget_index(index, transfer: ProxyTransfer, proxy_predictor,
+                   target_ms: float,
+                   devices: Optional[Sequence[str]] = None) -> dict:
+    """Sweep an :class:`~repro.archive.store.ArchiveIndex` across a fleet.
+
+    One ``predict_population`` over the archived genotypes, then one
+    monotone-map interpolation per device.  Returns ``{"devices": [...
+    per-device reports ...], "proxy": {...}}``; per-device predicted
+    latencies ride along under ``"latency_ms_by_device"`` for callers that
+    want to write them back.
+    """
+    names = list(devices) if devices is not None else transfer.devices
+    if not names:
+        raise ValueError("no devices to retarget to")
+    proxy_values = proxy_predictor.predict_population(index.ops)
+    score = index.score
+    by_device: Dict[str, np.ndarray] = {}
+    reports: List[dict] = []
+    for name in names:
+        latencies = transfer.transfer_many(name, proxy_values)
+        by_device[name] = latencies
+        reports.append(device_report(name, latencies, target_ms,
+                                     score=score, keys=list(index.keys)))
+    return {
+        "target_ms": float(target_ms),
+        "archive_size": int(len(index)),
+        "num_devices": len(names),
+        "proxy": {
+            "device": transfer.proxy_device,
+            "calibration_seed": transfer.calibration_seed,
+            "predicted_min_ms": float(proxy_values.min()),
+            "predicted_max_ms": float(proxy_values.max()),
+        },
+        "devices": reports,
+        "latency_ms_by_device": by_device,
+    }
+
+
+def retarget_archive(archive, transfer: ProxyTransfer, proxy_predictor,
+                     target_ms: float, *,
+                     devices: Optional[Sequence[str]] = None,
+                     write_back: bool = False) -> dict:
+    """Retarget a whole archive; optionally persist per-device latencies.
+
+    With ``write_back`` the predicted latency of every archived genotype is
+    appended per device under the standard ``latency_ms`` key, making fleet
+    devices first-class citizens of the existing query/serve stack.
+    """
+    index = archive.index()
+    report = retarget_index(index, transfer, proxy_predictor, target_ms,
+                            devices=devices)
+    by_device = report.pop("latency_ms_by_device")
+    if write_back:
+        for name, latencies in by_device.items():
+            archive.add_population(index.ops, device=name,
+                                   latency_ms=latencies,
+                                   engine="fleet-retarget")
+        report["written_devices"] = sorted(by_device)
+    return report
+
+
+def evaluate_transfer(transfer: ProxyTransfer, proxy_predictor,
+                      space: SearchSpace,
+                      devices: Sequence[DeviceProfile], *,
+                      num_eval: int = 500, seed: int = 1234) -> List[dict]:
+    """Transfer accuracy against ground truth on a held-out evaluation set.
+
+    For each device: RMSE and Kendall-τ of the transferred proxy
+    predictions against the device's *noise-free* roofline latency on
+    ``num_eval`` freshly sampled architectures (disjoint RNG stream from
+    calibration).  This is the honesty check benchmarked against per-device
+    MLPs in ``benchmarks/bench_fleet.py``.
+    """
+    from ..predictor.metrics import kendall_tau, rmse
+
+    rng = np.random.default_rng([seed, 2])
+    ops = space.sample_indices(num_eval, rng)
+    proxy_values = proxy_predictor.predict_population(ops)
+    rows = []
+    for device in devices:
+        truth = LatencyModel(space, device).latency_many(ops)
+        transferred = transfer.transfer_many(device.name, proxy_values)
+        rows.append({
+            "device": device.name,
+            "rmse_ms": rmse(transferred, truth),
+            "kendall_tau": kendall_tau(transferred, truth),
+            "proxy_kendall_tau": kendall_tau(proxy_values, truth),
+            "truth_span_ms": [float(truth.min()), float(truth.max())],
+        })
+    return rows

@@ -31,9 +31,11 @@ the paper's 20–30 ms band, and energy in the few-hundred-mJ band of Fig. 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["DeviceProfile", "XAVIER_MAXN", "EDGE_NANO", "DEVICE_ALIASES",
-           "resolve_device"]
+           "resolve_device", "register_resolver", "known_devices",
+           "device_hints"]
 
 
 @dataclass(frozen=True)
@@ -129,13 +131,53 @@ DEVICE_ALIASES = {
 }
 
 
+#: Pluggable resolvers consulted after the static alias table.  Each entry
+#: is ``(resolve, hint)``: ``resolve(name)`` returns a profile or ``None``,
+#: ``hint()`` returns human-readable name patterns for error messages and
+#: ``--device`` help.  The fleet subsystem registers its parametric device
+#: families here (``repro.fleet.generator``), which is what lets every
+#: existing CLI/service/archive path accept fleet devices by name.
+_RESOLVERS: List[Tuple[Callable[[str], Optional[DeviceProfile]],
+                       Callable[[], List[str]]]] = []
+
+
+def register_resolver(resolve: Callable[[str], Optional[DeviceProfile]],
+                      hint: Callable[[], List[str]]) -> None:
+    """Extend :func:`resolve_device` with a dynamic device namespace."""
+    _RESOLVERS.append((resolve, hint))
+
+
+def known_devices() -> List[str]:
+    """Sorted, deduplicated static device names (aliases + profile names).
+
+    A device whose alias equals its profile name (e.g. ``edge-nano``)
+    appears exactly once.
+    """
+    names = set(DEVICE_ALIASES)
+    names.update(p.name for p in DEVICE_ALIASES.values())
+    return sorted(names)
+
+
+def device_hints() -> List[str]:
+    """Name patterns accepted beyond the static table (fleet families)."""
+    hints: List[str] = []
+    for _, hint in _RESOLVERS:
+        hints.extend(hint())
+    return hints
+
+
 def resolve_device(name: str) -> DeviceProfile:
-    """Look up a device by CLI alias or full profile name."""
+    """Look up a device by CLI alias, full profile name, or fleet name."""
     if name in DEVICE_ALIASES:
         return DEVICE_ALIASES[name]
     for profile in DEVICE_ALIASES.values():
         if profile.name == name:
             return profile
-    known = sorted(DEVICE_ALIASES) + sorted(
-        p.name for p in DEVICE_ALIASES.values())
-    raise ValueError(f"unknown device {name!r}; known: {', '.join(known)}")
+    for resolve, _ in _RESOLVERS:
+        profile = resolve(name)
+        if profile is not None:
+            return profile
+    known = ", ".join(known_devices())
+    hints = device_hints()
+    extra = f"; fleet devices: {', '.join(hints)}" if hints else ""
+    raise ValueError(f"unknown device {name!r}; known: {known}{extra}")

@@ -237,6 +237,30 @@ class TestHTTPEndpoints:
                 post(base, "/query", body)
             assert info.value.code == 400
 
+    def test_unknown_device_is_400_naming_known(self, server):
+        """/query, /pareto and /nearest must reject an unknown payload
+        device with a JSON 400 naming the archive's devices — not silently
+        return device-less rows (regression: global objectives never
+        consulted the device, so typos passed through)."""
+        base, ops = server
+        for path, body in (
+                ("/query", {"k": 3, "device": "gpuzilla"}),
+                ("/pareto", {"device": "gpuzilla"}),
+                ("/nearest", {"arch": ops[0].tolist(), "k": 2,
+                              "device": "gpuzilla"})):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                post(base, path, body)
+            assert info.value.code == 400, path
+            error = json.loads(info.value.read())["error"]
+            assert "gpuzilla" in error and "xavier" in error, path
+
+    def test_known_device_still_served(self, server):
+        base, ops = server
+        body = post(base, "/nearest", {"arch": ops[0].tolist(), "k": 2,
+                                       "device": "xavier"})
+        assert body["count"] == 2
+        assert "xavier" in body["results"][0]["devices"]
+
     def test_query_without_archive_is_400(self, tiny_space, analytic):
         service = ArchiveService(tiny_space, analytic, window_s=0.0)
         httpd = make_server(service, port=0)

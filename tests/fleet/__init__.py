@@ -1,0 +1,1 @@
+"""Device-fleet subsystem tests."""

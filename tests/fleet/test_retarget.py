@@ -1,0 +1,227 @@
+"""Fleet retargeting: archive sweeps, write-back, and the CLI surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.archive.store import ArchitectureArchive
+from repro.cli import main
+from repro.fleet import (
+    ProxyTransfer,
+    device_report,
+    evaluate_transfer,
+    generate_fleet,
+    retarget_archive,
+    retarget_index,
+)
+from repro.predictor.analytic import AnalyticCostPredictor
+
+#: Ten-plus devices across all four families — the ISSUE's N>=10 bar.
+_FLEET_SPEC = (("phone", 3), ("mcu", 3), ("server-cpu", 3), ("edge-gpu", 3))
+
+
+def _fleet():
+    devices = []
+    for family, count in _FLEET_SPEC:
+        devices.extend(generate_fleet(family, count))
+    return devices
+
+
+@pytest.fixture(scope="module")
+def proxy(tiny_space):
+    return AnalyticCostPredictor(tiny_space, "macs_m")
+
+
+@pytest.fixture(scope="module")
+def transfer(tiny_space, proxy):
+    return ProxyTransfer.calibrate(proxy, tiny_space, _fleet(),
+                                   num_samples=64, seed=0,
+                                   proxy_device="analytic-macs")
+
+
+@pytest.fixture
+def archive(tmp_path, tiny_space, proxy):
+    rng = np.random.default_rng(21)
+    path = str(tmp_path / "arc.jsonl")
+    arc = ArchitectureArchive(path, space=tiny_space)
+    ops = tiny_space.sample_indices(40, rng)
+    arc.add_population(ops, device="xavier",
+                       latency_ms=rng.uniform(1, 5, size=40),
+                       macs_m=proxy.predict_population(ops),
+                       score=rng.uniform(60, 76, size=40), engine="fixture")
+    yield arc, path
+    arc.close()
+
+
+class TestDeviceReport:
+    def test_constraint_satisfaction_counts(self):
+        latencies = np.array([1.0, 2.0, 3.0, 4.0])
+        report = device_report("d", latencies, target_ms=2.5)
+        assert report["satisfied"] == 2
+        assert report["satisfied_frac"] == 0.5
+        assert report["latency_ms"]["median"] == 2.5
+
+    def test_pareto_and_best_feasible(self):
+        latencies = np.array([1.0, 2.0, 3.0])
+        score = np.array([70.0, 75.0, 74.0])
+        report = device_report("d", latencies, 2.5, score=score,
+                               keys=["a", "b", "c"])
+        # row 2 is dominated by row 1 (slower AND worse)
+        assert report["pareto_rows"] == [0, 1]
+        assert report["pareto_keys"] == ["a", "b"]
+        assert report["best_feasible"]["key"] == "b"
+        assert report["best_feasible"]["score"] == 75.0
+
+    def test_nan_scores_are_excluded(self):
+        report = device_report("d", np.array([1.0, 2.0]), 5.0,
+                               score=np.array([np.nan, 70.0]))
+        assert report["pareto_rows"] == [1]
+
+
+class TestRetargetIndex:
+    def test_sweeps_every_device(self, archive, transfer, proxy):
+        arc, _ = archive
+        index = arc.index()
+        report = retarget_index(index, transfer, proxy, target_ms=50.0)
+        assert report["num_devices"] == 12
+        # the archive dedups by genotype, so size is <= the sampled 40
+        assert report["archive_size"] == len(index)
+        assert report["proxy"]["device"] == "analytic-macs"
+        names = [r["device"] for r in report["devices"]]
+        assert names == transfer.devices
+        for entry in report["devices"]:
+            assert entry["count"] == len(index)
+            assert 0.0 <= entry["satisfied_frac"] <= 1.0
+            assert "pareto_rows" in entry
+
+    def test_mcu_satisfies_less_than_edge_gpu(self, archive, transfer,
+                                              proxy):
+        """A budget that is easy for a GPU is hard for an MCU — the sweep
+        must show per-device constraint satisfaction actually differing."""
+        arc, _ = archive
+        report = retarget_index(arc.index(), transfer, proxy, target_ms=60.0)
+        frac = {r["device"]: r["satisfied_frac"]
+                for r in report["devices"]}
+        assert max(frac[f"mcu-{i:02d}"] for i in range(3)) <= \
+            min(frac[f"edge-gpu-{i:02d}"] for i in range(3))
+
+    def test_device_subset_and_errors(self, archive, transfer, proxy):
+        arc, _ = archive
+        report = retarget_index(arc.index(), transfer, proxy, 50.0,
+                                devices=["phone-01"])
+        assert report["num_devices"] == 1
+        with pytest.raises(ValueError, match="no devices"):
+            retarget_index(arc.index(), transfer, proxy, 50.0, devices=[])
+        with pytest.raises(ValueError, match="calibrated"):
+            retarget_index(arc.index(), transfer, proxy, 50.0,
+                           devices=["gpuzilla"])
+
+
+class TestWriteBack:
+    def test_written_devices_serve_queries(self, archive, transfer, proxy,
+                                           capsys):
+        """After write-back, fleet devices are first-class archive citizens:
+        ``repro query --device phone-01 --pareto`` answers from disk."""
+        arc, path = archive
+        report = retarget_archive(arc, transfer, proxy, target_ms=50.0,
+                                  write_back=True)
+        assert report["written_devices"] == transfer.devices
+        assert "latency_ms_by_device" not in report
+        index = arc.index()
+        assert "phone-01" in index.devices
+        assert np.isfinite(
+            index.device_column("phone-01", "latency_ms")).all()
+
+        assert main(["query", "--archive", path, "--device", "phone-01",
+                     "--pareto"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["count"] > 0
+        costs = [e["devices"]["phone-01"]["latency_ms"]
+                 for e in body["results"]]
+        assert costs == sorted(costs)
+
+    def test_without_write_back_archive_is_untouched(self, archive,
+                                                     transfer, proxy):
+        arc, _ = archive
+        before = len(arc)
+        report = retarget_archive(arc, transfer, proxy, target_ms=50.0)
+        assert "written_devices" not in report
+        assert len(arc) == before
+        assert "phone-01" not in arc.index().devices
+
+
+class TestEvaluateTransfer:
+    def test_reports_accuracy_per_device(self, tiny_space, proxy, transfer):
+        fleet = _fleet()[:4]
+        rows = evaluate_transfer(transfer, proxy, tiny_space, fleet,
+                                 num_eval=80)
+        assert [r["device"] for r in rows] == [d.name for d in fleet]
+        for row in rows:
+            assert row["rmse_ms"] >= 0
+            assert -1.0 <= row["kendall_tau"] <= 1.0
+            # strict monotonicity: the map preserves the proxy's ranking
+            assert row["kendall_tau"] == pytest.approx(
+                row["proxy_kendall_tau"], abs=1e-12)
+            assert row["truth_span_ms"][0] < row["truth_span_ms"][1]
+
+
+class TestFleetCLI:
+    def test_fleet_list(self, capsys):
+        assert main(["fleet", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("phone", "mcu", "server-cpu", "edge-gpu"):
+            assert family in out
+
+    def test_fleet_list_members_json(self, capsys):
+        assert main(["fleet", "list", "--family", "phone", "--count", "2",
+                     "--json"]) == 0
+        members = json.loads(capsys.readouterr().out)
+        assert [m["name"] for m in members] == ["phone-00", "phone-01"]
+        assert members[0]["peak_macs_per_ms"] > 0
+
+    def test_fleet_list_unknown_family_errors(self, capsys):
+        with pytest.raises(SystemExit, match="unknown fleet family"):
+            main(["fleet", "list", "--family", "toaster"])
+
+    def test_fleet_retarget_cli(self, archive, tmp_path, monkeypatch,
+                                capsys):
+        """End-to-end: calibrate on the tiny space, sweep the archive
+        against the default 12-device fleet, write the report JSON."""
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        _, path = archive
+        out_path = str(tmp_path / "report.json")
+        assert main(["fleet", "retarget", "--tiny", "--archive", path,
+                     "--target", "50", "--calibration", "40",
+                     "--output", out_path]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["num_devices"] == 12
+        with open(out_path) as handle:
+            assert json.load(handle) == body
+
+    def test_fleet_search_cli(self, tmp_path, monkeypatch, capsys):
+        """One constrained search for a fleet device: the budget is
+        inverted through the transfer map and the proxy search runs."""
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        assert main(["fleet", "search", "--tiny", "--device", "phone-01",
+                     "--target", "30", "--epochs", "3",
+                     "--calibration", "40"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["device"] == "phone-01"
+        assert body["target_ms"] == 30.0
+        assert body["proxy_target_ms"] > 0
+        assert body["calibration_size"] == 40
+        assert body["true_device_latency_ms"] > 0
+        assert isinstance(body["satisfied"], bool)
+
+    def test_fleet_retarget_bad_fleet_spec(self, archive):
+        _, path = archive
+        with pytest.raises(SystemExit, match="FAMILY=COUNT"):
+            main(["fleet", "retarget", "--tiny", "--archive", path,
+                  "--target", "50", "--fleet", "phone"])
+
+    def test_fleet_retarget_unknown_device(self, archive):
+        _, path = archive
+        with pytest.raises(SystemExit, match="unknown device"):
+            main(["fleet", "retarget", "--tiny", "--archive", path,
+                  "--target", "50", "--devices", "gpuzilla"])

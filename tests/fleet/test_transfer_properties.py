@@ -1,0 +1,134 @@
+"""Property-based guarantees of the monotone transfer maps (Hypothesis).
+
+The transfer subsystem's contract is structural, not numeric: whatever the
+calibration data, the fitted map must be strictly increasing, batch and
+scalar paths must agree bit-for-bit, serialization must be lossless, and —
+the property the whole design rests on — applying the map can never make
+the proxy's ranking of architectures *worse*.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.fleet import MonotoneMap
+from repro.predictor.metrics import kendall_tau
+
+# Calibration-like pairs: bounded floats, with enough spread that float64
+# interpolation noise cannot flip a comparison (latencies in ms never
+# differ by 1e-9 relatively in practice).
+_VALUES = st.floats(min_value=0.1, max_value=1e4, allow_nan=False,
+                    allow_infinity=False)
+
+
+def _pairs(draw, min_size=2, max_size=60):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    x = draw(st.lists(_VALUES, min_size=n, max_size=n))
+    y = draw(st.lists(_VALUES, min_size=n, max_size=n))
+    return np.asarray(x), np.asarray(y)
+
+
+def _same_tau(a: float, b: float) -> bool:
+    """τ equality where NaN (degenerate all-tied inputs) matches NaN."""
+    return (np.isnan(a) and np.isnan(b)) or a == b
+
+
+def _distinct(values, gap=0.01):
+    """Sorted probe values separated by at least ``gap`` ms.
+
+    The strictness slope is tiny by design (invisible in any latency
+    estimate), so probes one ulp apart can collapse in float64 — the
+    guarantee is that *distinguishable* latencies stay distinguishable,
+    which 0.01 ms comfortably is at the 0.1–10⁴ ms scale under test.
+    Preserves input order (rank tests need non-sorted probes)."""
+    keep = []
+    for value in np.asarray(values, dtype=np.float64):
+        if all(abs(value - kept) >= gap for kept in keep):
+            keep.append(value)
+    return np.asarray(keep)
+
+
+calibrations = st.builds(
+    lambda x, y: (np.asarray(x[:min(len(x), len(y))]),
+                  np.asarray(y[:min(len(x), len(y))])),
+    st.lists(_VALUES, min_size=2, max_size=60),
+    st.lists(_VALUES, min_size=2, max_size=60),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(calibrations, st.lists(_VALUES, min_size=2, max_size=40))
+def test_map_is_strictly_increasing_everywhere(calibration, probe):
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    probe = np.sort(_distinct(probe))
+    assume(len(probe) >= 2)
+    out = fitted.transfer_many(probe)
+    assert (np.diff(out) > 0).all()
+
+
+@settings(max_examples=150, deadline=None)
+@given(calibrations, st.lists(_VALUES, min_size=1, max_size=30))
+def test_transfer_many_bit_identical_to_scalar(calibration, probe):
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    probe = np.asarray(probe)
+    batch = fitted.transfer_many(probe)
+    scalars = np.asarray([fitted.transfer(float(v)) for v in probe])
+    assert np.array_equal(batch, scalars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(calibrations)
+def test_rank_correlation_never_degraded_on_calibration_set(calibration):
+    """Kendall-τ of (map(proxy), target) equals τ of (proxy, target) on the
+    calibration pairs themselves: strict monotonicity preserves every
+    pairwise comparison, so the map cannot lose ranking information."""
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    before = kendall_tau(x, y)
+    after = kendall_tau(fitted.transfer_many(x), y)
+    assert _same_tau(after, before)
+
+
+@settings(max_examples=100, deadline=None)
+@given(calibrations, st.lists(_VALUES, min_size=2, max_size=30))
+def test_rank_correlation_preserved_on_fresh_data(calibration, probe):
+    """The same rank guarantee holds for data the fit never saw — the map
+    is strictly increasing on all of ℝ, not just between its knots."""
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    probe = _distinct(probe)
+    assume(len(probe) >= 2)
+    reference = np.arange(len(probe), dtype=np.float64)
+    assert _same_tau(kendall_tau(fitted.transfer_many(probe), reference),
+                     kendall_tau(probe, reference))
+
+
+@settings(max_examples=100, deadline=None)
+@given(calibrations, st.lists(_VALUES, min_size=1, max_size=20))
+def test_json_round_trip_bit_identical(calibration, probe):
+    """Serialization through real JSON text preserves behaviour exactly
+    (doubles survive via shortest-repr encoding)."""
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    restored = MonotoneMap.from_payload(
+        json.loads(json.dumps(fitted.to_payload())))
+    probe = np.asarray(probe)
+    assert np.array_equal(restored.transfer_many(probe),
+                          fitted.transfer_many(probe))
+
+
+@settings(max_examples=100, deadline=None)
+@given(calibrations)
+def test_fit_interpolates_isotonic_means_at_knots(calibration):
+    """At its own knots the map returns the isotonic fit (plus the
+    vanishing strictness term): predictions stay inside the calibration
+    target range, never wild extrapolations."""
+    x, y = calibration
+    fitted = MonotoneMap.fit(x, y)
+    at_knots = fitted.transfer_many(fitted.x_knots)
+    slack = 1e-6 * (abs(y).max() + 1.0)
+    assert (at_knots >= y.min() - slack).all()
+    assert (at_knots <= y.max() + slack).all()
