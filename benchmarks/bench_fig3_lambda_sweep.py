@@ -18,25 +18,41 @@ import numpy as np
 from conftest import emit
 from repro.baselines.gradient import FBNetSearch, GradientNASConfig
 from repro.experiments.reporting import render_table, save_json
+from repro.runtime.parallel import FleetTask, RunFleet
 
 LAMBDA_GRID = (0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3, 1.0)
 
 
-def test_fig3_fbnet_lambda_sweep(ctx, benchmark):
-    rows = []
-    latencies = []
-    depths = []
-    for lam in LAMBDA_GRID:
+def _lambda_task(ctx, lam: float) -> FleetTask:
+    # the fitted predictor and cost tables live in ctx, captured pre-fork;
+    # the worker sends back only one small row dict
+    def fn(task_ctx):
         config = GradientNASConfig(space=ctx.space, epochs=30,
                                    steps_per_epoch=20, latency_lambda=lam,
                                    seed=0)
-        result = FBNetSearch(config, ctx.oracle, ctx.latency_predictor).search()
-        latency = ctx.latency_model.latency_ms(result.architecture)
-        top1 = ctx.oracle.evaluate(result.architecture, epochs=50).top1
-        depth = result.architecture.depth(ctx.space.skip_index)
-        latencies.append(latency)
-        depths.append(depth)
-        rows.append([f"{lam:g}", latency, top1, depth])
+        result = FBNetSearch(config, ctx.oracle,
+                             ctx.latency_predictor).search()
+        return {
+            "latency": ctx.latency_model.latency_ms(result.architecture),
+            "top1": ctx.oracle.evaluate(result.architecture, epochs=50).top1,
+            "depth": result.architecture.depth(ctx.space.skip_index),
+        }
+
+    return FleetTask(name=f"lambda_{lam:g}", fn=fn, header={"lambda": lam})
+
+
+def test_fig3_fbnet_lambda_sweep(ctx, jobs, benchmark):
+    fleet = RunFleet(jobs=jobs, seed=0)
+    values = fleet.run([_lambda_task(ctx, lam)
+                        for lam in LAMBDA_GRID]).values()
+    rows = []
+    latencies = []
+    depths = []
+    for lam, value in zip(LAMBDA_GRID, values):
+        latencies.append(value["latency"])
+        depths.append(value["depth"])
+        rows.append([f"{lam:g}", value["latency"], value["top1"],
+                     value["depth"]])
 
     emit("fig3_lambda_sweep", render_table(
         ["λ (fixed)", "latency ms", "top-1 % (50 ep)", "depth (non-skip)"],

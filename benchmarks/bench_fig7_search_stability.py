@@ -14,23 +14,41 @@ import numpy as np
 from conftest import emit
 from repro.core.lightnas import LightNAS, LightNASConfig
 from repro.experiments.reporting import ascii_series, render_table, save_json
+from repro.runtime.parallel import FleetTask, RunFleet
 
 TARGETS = (20.0, 24.0, 28.0)
 SEEDS = (0, 1, 2)
 
 
-def test_fig7_stability_across_seeds(ctx, benchmark):
+def _stability_task(ctx, target: float, seed: int) -> FleetTask:
+    # one independent (target, seed) search per task; the shared predictor
+    # is captured pre-fork, only (final, trajectory) comes back
+    def fn(task_ctx):
+        config = LightNASConfig.paper(target, space=ctx.space, seed=seed,
+                                      epochs=60, steps_per_epoch=40)
+        result = LightNAS(config, predictor=ctx.latency_predictor).search()
+        return {
+            "final": ctx.latency_model.latency_ms(result.architecture),
+            "trajectory": list(result.trajectory.predicted_metric),
+        }
+
+    return FleetTask(name=f"target_{target:g}_seed_{seed}", fn=fn,
+                     header={"target": target, "seed": seed})
+
+
+def test_fig7_stability_across_seeds(ctx, jobs, benchmark):
+    fleet = RunFleet(jobs=jobs, seed=0)
+    grid = [(target, seed) for target in TARGETS for seed in SEEDS]
+    values = fleet.run([_stability_task(ctx, target, seed)
+                        for target, seed in grid]).values()
+    by_target = {target: [v for (t, _), v in zip(grid, values)
+                          if t == target] for target in TARGETS}
+
     rows = []
     series = {}
     for target in TARGETS:
-        finals = []
-        trajectories = []
-        for seed in SEEDS:
-            config = LightNASConfig.paper(target, space=ctx.space, seed=seed,
-                                          epochs=60, steps_per_epoch=40)
-            result = LightNAS(config, predictor=ctx.latency_predictor).search()
-            finals.append(ctx.latency_model.latency_ms(result.architecture))
-            trajectories.append(result.trajectory.predicted_metric)
+        finals = [v["final"] for v in by_target[target]]
+        trajectories = [v["trajectory"] for v in by_target[target]]
         mean_traj = np.mean(np.array(trajectories), axis=0)
         series[target] = mean_traj.tolist()
         rows.append([f"{target:.0f} ms",

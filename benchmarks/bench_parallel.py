@@ -1,0 +1,329 @@
+"""Run-fleet executor benchmark: speedup scaling at jobs ∈ {1, 2, 4, cores}.
+
+The run-fleet executor's contract is twofold: fanning independent runs
+across forked workers must be (1) **bit-identical** to the sequential run
+and (2) actually faster on multi-core hosts.  This benchmark measures both
+on the workloads the executor ships wired into:
+
+* **sweep** — one LightNAS search per latency target (the gated workload);
+* **stability** — a (targets × seeds) multi-seed campaign;
+* **calibration** — per-device proxy-transfer calibration over a fleet;
+* **campaign shards** — a sharded predictor measurement campaign.
+
+Every workload is run at each jobs level and its results are compared
+against the jobs=1 reference — parity is asserted unconditionally, not
+just under ``--check``.
+
+Honest efficiency accounting: wall-clock speedup is bounded by physical
+cores, not by the jobs count, so the speedup gates are **core-aware**:
+
+1. parity: every workload's jobs=N results equal the jobs=1 results;
+2. ≥ 2.0× wall-clock speedup at 4 jobs on the sweep workload — enforced
+   when the host has ≥ 4 cpus;
+3. ≥ 1.3× at 2 jobs — enforced when the host has ≥ 2 cpus;
+4. on a single-core host the speedup gates are recorded as skipped and a
+   bounded-overhead gate applies instead (4-job wall ≤ 1.6× 1-job wall —
+   forking, pickling and journal merging must stay cheap even when
+   parallelism cannot pay).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --targets 4 \
+        --epochs 30 --steps 20 --check     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.experiments.shared import fit_latency_predictor
+from repro.fleet import ProxyTransfer, generate_fleet
+from repro.hardware.latency import LatencyModel
+from repro.predictor.dataset import collect_latency_dataset_sharded
+from repro.runtime.parallel import FleetTask, RunFleet
+from repro.search_space.macro import MacroConfig
+from repro.search_space.space import SearchSpace
+
+#: Tiny-space latency targets for the sweep workload (ms).
+_SWEEP_TARGETS = (1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2)
+
+
+def _jobs_grid(cores: int) -> list:
+    return sorted({1, 2, 4, max(1, cores)})
+
+
+# ----------------------------------------------------------------------
+# Workloads: each returns a fresh task list (tasks are rebuilt per jobs
+# level so no state can leak between timed runs)
+# ----------------------------------------------------------------------
+
+def sweep_tasks(space, predictor, targets, epochs, steps):
+    configs = [LightNASConfig.paper(target, space=space, seed=0,
+                                    epochs=epochs, steps_per_epoch=steps)
+               for target in targets]
+
+    def make(config):
+        def fn(ctx):
+            result = LightNAS(config, predictor=predictor).search()
+            return {
+                "target": config.target,
+                "arch": list(result.architecture.op_indices),
+                "predicted": float(result.predicted_metric),
+                "trajectory": list(result.trajectory.predicted_metric),
+            }
+
+        return FleetTask(name=f"target_{config.target:g}", fn=fn,
+                         header={"target": config.target})
+
+    return [make(config) for config in configs]
+
+
+def stability_tasks(space, predictor, targets, seeds, epochs, steps):
+    grid = [(target, seed) for target in targets for seed in seeds]
+
+    def make(target, seed):
+        def fn(ctx):
+            config = LightNASConfig.paper(target, space=space, seed=seed,
+                                          epochs=epochs,
+                                          steps_per_epoch=steps)
+            result = LightNAS(config, predictor=predictor).search()
+            return {
+                "target": target, "seed": seed,
+                "arch": list(result.architecture.op_indices),
+                "predicted": float(result.predicted_metric),
+            }
+
+        return FleetTask(name=f"target_{target:g}_seed_{seed}", fn=fn,
+                         header={"target": target, "seed": seed})
+
+    return [make(target, seed) for target, seed in grid]
+
+
+def timed_fleet(make_tasks, jobs: int):
+    fleet = RunFleet(jobs=jobs, seed=0)
+    start = time.perf_counter()
+    report = fleet.run(make_tasks())
+    wall = time.perf_counter() - start
+    return report.values(), wall, report.stats
+
+
+def run_workload(name: str, make_tasks, jobs_grid) -> dict:
+    """Time one workload across the jobs grid; assert parity vs jobs=1."""
+    reference = None
+    base_wall = None
+    levels = {}
+    for jobs in jobs_grid:
+        values, wall, stats = timed_fleet(make_tasks, jobs)
+        # canonicalise through JSON so tuples/lists compare structurally;
+        # float values must round-trip bit-exactly for parity to hold
+        canon = json.loads(json.dumps(values))
+        if reference is None:
+            reference, base_wall = canon, wall
+        else:
+            assert canon == reference, (
+                f"{name}: jobs={jobs} results differ from jobs=1 — "
+                f"determinism contract broken")
+        levels[str(jobs)] = {
+            "wall_s": round(wall, 4),
+            "speedup": round(base_wall / wall, 4) if wall > 0 else 0.0,
+            "efficiency": round(base_wall / wall / jobs, 4)
+            if wall > 0 else 0.0,
+            "utilization": stats.get("utilization", 0.0),
+            "workers_spawned": stats.get("workers_spawned", 0),
+        }
+        print(f"  {name}: jobs={jobs} wall={wall:.2f}s "
+              f"speedup={levels[str(jobs)]['speedup']:.2f}x")
+    return {"tasks": len(reference), "parity": True, "jobs": levels}
+
+
+def run(args) -> dict:
+    cores = os.cpu_count() or 1
+    jobs_grid = _jobs_grid(cores)
+    space = SearchSpace(MacroConfig.tiny())
+    latency_model = LatencyModel(space)
+    predictor, _ = fit_latency_predictor(space, latency_model,
+                                         num_samples=1500)
+    targets = _SWEEP_TARGETS[:args.targets]
+    seeds = tuple(range(args.seeds))
+
+    print(f"host: {cores} cpu core(s); jobs grid {jobs_grid}")
+    workloads = {}
+
+    # --- sweep (the gated workload) ---------------------------------
+    workloads["sweep"] = run_workload(
+        "sweep",
+        lambda: sweep_tasks(space, predictor, targets,
+                            args.epochs, args.steps),
+        jobs_grid)
+
+    # --- stability ---------------------------------------------------
+    workloads["stability"] = run_workload(
+        "stability",
+        lambda: stability_tasks(space, predictor, targets[:2], seeds,
+                                max(10, args.epochs // 2),
+                                max(10, args.steps // 2)),
+        jobs_grid)
+
+    # --- fleet calibration ------------------------------------------
+    devices = (generate_fleet("phone", args.devices // 2)
+               + generate_fleet("mcu", args.devices - args.devices // 2))
+    calibration = {}
+    reference_maps = None
+    for jobs in (1, min(4, max(jobs_grid))):
+        start = time.perf_counter()
+        transfer = ProxyTransfer.calibrate(
+            predictor, space, devices, num_samples=args.calibration,
+            seed=0, proxy_device=latency_model.device.name,
+            fleet=RunFleet(jobs=jobs, seed=0) if jobs > 1 else None)
+        wall = time.perf_counter() - start
+        payload = transfer.to_payload()
+        if reference_maps is None:
+            reference_maps = payload
+        else:
+            assert payload == reference_maps, (
+                "calibration: fanned maps differ from sequential maps")
+        calibration[str(jobs)] = {"wall_s": round(wall, 4)}
+        print(f"  calibration: jobs={jobs} wall={wall:.2f}s "
+              f"({len(devices)} devices)")
+    calibration["devices"] = len(devices)
+    calibration["parity"] = True
+    workloads["calibration"] = calibration
+
+    # --- sharded predictor campaign ---------------------------------
+    campaign = {}
+    reference_data = None
+    for jobs in (1, min(4, max(jobs_grid))):
+        start = time.perf_counter()
+        data = collect_latency_dataset_sharded(
+            latency_model, args.campaign, 0,
+            shard_size=max(1, args.campaign // 8),
+            fleet=RunFleet(jobs=jobs, seed=0) if jobs > 1 else None)
+        wall = time.perf_counter() - start
+        if reference_data is None:
+            reference_data = data
+        else:
+            assert np.array_equal(data.features, reference_data.features)
+            assert np.array_equal(data.targets, reference_data.targets)
+        campaign[str(jobs)] = {"wall_s": round(wall, 4)}
+        print(f"  campaign: jobs={jobs} wall={wall:.2f}s "
+              f"({args.campaign} samples)")
+    campaign["samples"] = args.campaign
+    campaign["parity"] = True
+    workloads["campaign_shards"] = campaign
+
+    # --- core-aware gates -------------------------------------------
+    sweep_levels = workloads["sweep"]["jobs"]
+    speedup_4j = sweep_levels.get("4", {}).get("speedup", 0.0)
+    speedup_2j = sweep_levels.get("2", {}).get("speedup", 0.0)
+    gates = {
+        "parity": {"required": True, "passed": True, "enforced": True},
+        "speedup_4_jobs": {
+            "required": 2.0, "measured": speedup_4j,
+            "enforced": cores >= 4,
+            "reason": None if cores >= 4 else
+            f"host has {cores} core(s) — wall-clock speedup at 4 jobs is "
+            f"physically bounded by the core count, gate skipped",
+        },
+        "speedup_2_jobs": {
+            "required": 1.3, "measured": speedup_2j,
+            "enforced": cores >= 2,
+            "reason": None if cores >= 2 else
+            f"host has {cores} core(s), gate skipped",
+        },
+        "single_core_overhead": {
+            # jobs=4 wall may not exceed 1.6x jobs=1 wall: the executor's
+            # fork/pickle/merge overhead must stay small even when
+            # parallelism cannot pay
+            "required": 1.6,
+            "measured": round(sweep_levels["4"]["wall_s"]
+                              / sweep_levels["1"]["wall_s"], 4)
+            if "4" in sweep_levels and sweep_levels["1"]["wall_s"] > 0
+            else 0.0,
+            "enforced": cores < 2,
+        },
+    }
+
+    if args.check:
+        if gates["speedup_4_jobs"]["enforced"]:
+            assert speedup_4j >= 2.0, (
+                f"sweep speedup at 4 jobs is {speedup_4j:.2f}x on a "
+                f"{cores}-core host, need >= 2.0x")
+        if gates["speedup_2_jobs"]["enforced"]:
+            assert speedup_2j >= 1.3, (
+                f"sweep speedup at 2 jobs is {speedup_2j:.2f}x on a "
+                f"{cores}-core host, need >= 1.3x")
+        if gates["single_core_overhead"]["enforced"]:
+            overhead = gates["single_core_overhead"]["measured"]
+            assert 0 < overhead <= 1.6, (
+                f"single-core fleet overhead {overhead:.2f}x > 1.6x — "
+                f"the executor costs too much when it cannot parallelise")
+
+    return {
+        "cpu_count": cores,
+        "jobs_grid": jobs_grid,
+        "config": {"targets": len(targets), "epochs": args.epochs,
+                   "steps": args.steps, "seeds": len(seeds),
+                   "devices": len(devices), "campaign": args.campaign},
+        "workloads": workloads,
+        "gates": gates,
+        "checks_passed": bool(args.check),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--targets", type=int, default=4,
+                        help="sweep targets (max 8, default 4)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="stability seeds per target (default 2)")
+    parser.add_argument("--epochs", type=int, default=60,
+                        help="search epochs per run (default 60)")
+    parser.add_argument("--steps", type=int, default=40,
+                        help="steps per epoch (default 40)")
+    parser.add_argument("--devices", type=int, default=8,
+                        help="calibration fleet size (default 8)")
+    parser.add_argument("--calibration", type=int, default=100,
+                        help="calibration pairs per device")
+    parser.add_argument("--campaign", type=int, default=4000,
+                        help="sharded campaign size (default 4000)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the core-aware speedup/overhead gates")
+    args = parser.parse_args()
+    args.targets = min(args.targets, len(_SWEEP_TARGETS))
+
+    results = run(args)
+
+    from repro.experiments.reporting import render_table, save_json
+
+    rows = []
+    for name, workload in results["workloads"].items():
+        levels = workload.get("jobs", workload)
+        for jobs in sorted(int(k) for k in levels if k.isdigit()):
+            info = levels[str(jobs)]
+            rows.append([name, jobs, info["wall_s"],
+                         info.get("speedup", "—"),
+                         info.get("efficiency", "—"),
+                         info.get("utilization", "—")])
+    print(render_table(
+        ["workload", "jobs", "wall s", "speedup", "efficiency",
+         "utilization"],
+        rows,
+        title=f"run-fleet scaling — {results['cpu_count']} core(s), "
+              f"parity asserted at every level"))
+    for gate, info in results["gates"].items():
+        state = ("enforced" if info.get("enforced") else "skipped")
+        print(f"gate {gate}: {state}"
+              + (f" — {info['reason']}" if info.get("reason") else ""))
+    path = save_json("BENCH_parallel", results)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,20 @@ TABLE2_TARGETS = (20.0, 22.0, 24.0, 26.0, 28.0, 30.0)
 SEARCH_SEED = 1
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="fan the multi-run benchmark loops (Fig. 3 λ grid, Fig. 7 "
+             "seed grid) across N forked worker processes; recorded "
+             "results are bit-identical to --jobs 1")
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """Worker count for RunFleet-backed benchmark loops (default 1)."""
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(scope="session")
 def ctx():
     return full_context()

@@ -39,6 +39,19 @@ python benchmarks/bench_nn_engine.py --steps 8 --repeat 2 --check
 # and is uploaded as the bench-step CI artifact.
 python benchmarks/bench_step_replay.py --check
 
+# The run-fleet executor's contracts get a named run: the jobs=1 vs
+# jobs=4 determinism parity suite and the SIGKILL/timeout fault-injection
+# suite (a retried task must succeed with exactly one task_retry event).
+python -m pytest -x -q tests/runtime/test_parallel.py::TestFleetParity \
+    tests/runtime/test_parallel.py::TestFleetFaults
+
+# Run-fleet benchmark at reduced size with a 2-worker floor: parity is
+# asserted at every jobs level; the >= 2x speedup gate at 4 jobs applies
+# on >= 4-core hosts (core-aware — single-core hosts assert a bounded
+# fork/merge overhead instead); BENCH_parallel.json is a CI artifact.
+python benchmarks/bench_parallel.py --targets 4 --epochs 30 --steps 20 \
+    --campaign 2000 --check
+
 # The fleet subsystem's guarantees get a named run: strict-monotone
 # transfer maps (Hypothesis properties), fleet-name resolution everywhere,
 # and the unknown-device 400s on the archive service.

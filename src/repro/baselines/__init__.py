@@ -6,6 +6,7 @@ constrained regularized evolution, MnasNet-style REINFORCE, random search.
 Plus the MobileNetV2 width/resolution scaling baseline of Figure 9.
 """
 
+from .campaign import multi_seed_campaign, stability_summary
 from .evolution import EvolutionConfig, EvolutionSearch
 from .gradient import (
     DARTSSearch,
@@ -37,4 +38,6 @@ __all__ = [
     "ScaledModel",
     "UNASConfig",
     "UNASSearch",
+    "multi_seed_campaign",
+    "stability_summary",
 ]

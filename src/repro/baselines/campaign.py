@@ -1,0 +1,78 @@
+"""Multi-seed search campaigns over the :class:`RunFleet` executor.
+
+Fig. 7 of the paper reports search *stability*: the same constrained
+search repeated under different seeds should land on (nearly) the same
+architecture.  Measuring that takes a grid of independent runs — exactly
+the embarrassingly-parallel shape the run-fleet executor fans out.
+
+:func:`multi_seed_campaign` is engine-agnostic: any engine constructed by
+``engine_factory(seed)`` whose ``search`` accepts a ``journal`` keyword
+(all the baselines and LightNAS itself qualify) can be campaigned.  The
+factory runs in the *parent*, so expensive shared state captured by the
+factory's closure (fitted predictors, cost tables) is built once and
+inherited copy-on-write by every worker; only the per-seed
+:class:`~repro.core.lightnas.SearchResult` travels back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.parallel import FleetTask, RunFleet
+
+__all__ = ["multi_seed_campaign", "stability_summary"]
+
+
+def multi_seed_campaign(engine_factory: Callable[[int], Any],
+                        seeds: Sequence[int],
+                        *,
+                        fleet: Optional[RunFleet] = None,
+                        header: Optional[Dict[str, Any]] = None) -> List:
+    """Run ``engine_factory(seed).search()`` once per seed, in seed order.
+
+    With a ``fleet`` the seeds fan across its workers — bit-identical to
+    the sequential run because each engine is seeded independently and no
+    state crosses seeds.  Results come back in ``seeds`` order regardless
+    of completion order; any failed seed raises a
+    :class:`~repro.runtime.parallel.TaskFailure` naming it.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("seeds must name at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("duplicate seeds in campaign")
+
+    def make_task(seed: int) -> FleetTask:
+        def fn(ctx):
+            engine = engine_factory(seed)
+            return engine.search(journal=ctx.journal)
+
+        return FleetTask(name=f"seed_{seed}", fn=fn,
+                         subdir=f"seed_{seed}",
+                         header={"seed": seed, **(header or {})})
+
+    tasks = [make_task(seed) for seed in seeds]
+    if fleet is None:
+        fleet = RunFleet(jobs=1, seed=min(seeds))
+    return fleet.run(tasks).values()
+
+
+def stability_summary(results: Sequence, target: float) -> Dict[str, Any]:
+    """Digest one target's multi-seed results into Fig.-7-style numbers."""
+    if not results:
+        raise ValueError("no results to summarise")
+    finals = np.asarray([float(r.predicted_metric) for r in results],
+                        dtype=np.float64)
+    archs = {tuple(r.architecture.op_indices) for r in results}
+    return {
+        "target": float(target),
+        "seeds": len(results),
+        "mean": float(finals.mean()),
+        "std": float(finals.std()),
+        "min": float(finals.min()),
+        "max": float(finals.max()),
+        "worst_abs_err": float(np.abs(finals - target).max()),
+        "distinct_architectures": len(archs),
+    }

@@ -6,7 +6,11 @@ Gives the library a downstream-usable surface without writing any code:
 * ``search``    — one hardware-constrained search (latency, energy or MACs).
 * ``predict``   — predict all metrics for an architecture (or a batch file).
 * ``evaluate``  — Table-2-style evaluation row for an architecture.
-* ``sweep``     — one search per target; prints the comparison table.
+* ``sweep``     — one search per target; prints the comparison table
+  (``--jobs N`` fans the targets across forked worker processes,
+  bit-identical to the sequential run).
+* ``stability`` — Fig.-7-style multi-seed stability campaign: one search
+  per (target, seed) pair, mean ± std per target (``--jobs`` as above).
 * ``serve``     — batched JSON prediction/query API over HTTP
   (``--workers N`` forks an ``SO_REUSEPORT`` group sharing the archive's
   memory-mapped segments).
@@ -14,8 +18,9 @@ Gives the library a downstream-usable surface without writing any code:
 * ``compact``   — cut a memory-mapped segment so the next archive open is
   an mmap + tail replay instead of a full log parse.
 * ``fleet``     — parametric device fleets: list generated devices,
-  retarget an archive sweep to N devices through proxy transfer maps, or
-  run one constrained search against a fleet device.
+  retarget an archive sweep to N devices through proxy transfer maps,
+  calibrate per-device transfer maps (``--jobs`` fans devices across
+  workers), or run one constrained search against a fleet device.
 
 Architectures are passed as comma-separated operator indices, e.g.
 ``--arch 1,1,5,5,...`` (one per searchable layer), matching
@@ -52,8 +57,9 @@ from .hardware.latency import LatencyModel
 from .predictor.analytic import AnalyticCostPredictor
 from .proxy.accuracy_model import AccuracyOracle
 from .runtime.checkpoint import CheckpointError, latest_checkpoint
+from .runtime.parallel import FleetTask, RunFleet, TaskFailure
 from .runtime.telemetry import NullJournal, RunJournal, read_journal, \
-    summarize_runs
+    summarize_fleet, summarize_runs
 from .search_space.macro import MacroConfig
 from .search_space.space import Architecture, SearchSpace
 
@@ -187,6 +193,43 @@ def _journal(args) -> RunJournal:
     return RunJournal(args.trace) if getattr(args, "trace", "") else NullJournal()
 
 
+def _run_cli_fleet(args, tasks: List[FleetTask], *, seed: int) -> List:
+    """Run tasks through a :class:`RunFleet` built from the shared flags.
+
+    Returns the task values in task order.  Failures abort with a
+    ``SystemExit`` after dumping worker tracebacks to stderr; with
+    ``--jobs > 1`` a one-line pool summary goes to stderr (the full stats
+    table lives in the journal: ``repro trace-summary``).
+    """
+    journal = _journal(args)
+    fleet = RunFleet(jobs=args.jobs, seed=seed, journal=journal,
+                     checkpoint_root=getattr(args, "checkpoint_dir", "")
+                     or None)
+    try:
+        report = fleet.run(tasks)
+    finally:
+        journal.close()
+    if report.interrupted:
+        done = sum(1 for r in report.results if r.ok)
+        raise SystemExit(
+            f"interrupted: {done}/{len(report.results)} tasks completed")
+    try:
+        values = report.values()
+    except TaskFailure as exc:
+        for failure in report.failures():
+            if failure.traceback:
+                print(failure.traceback, file=sys.stderr)
+        raise SystemExit(f"error: {exc}")
+    stats = report.stats
+    if args.jobs > 1:
+        print(f"fleet: {stats['completed']}/{stats['tasks']} tasks on "
+              f"{stats['jobs']} workers, {stats['retries']} retries, "
+              f"speedup {stats['parallel_speedup']:.2f}x, "
+              f"utilization {stats['utilization'] * 100:.0f}%",
+              file=sys.stderr)
+    return values
+
+
 def cmd_search(args) -> int:
     space = _space(args)
     latency_model = LatencyModel(space)
@@ -296,7 +339,48 @@ def cmd_evaluate(args) -> int:
 _METRIC_UNITS = {"latency": "ms", "energy": "mJ", "macs": "M"}
 
 
+def _sweep_task(config, predictor, oracle, true_value, resume: bool,
+                checkpoint_every: int) -> FleetTask:
+    """One search-per-target task: built in the parent, run in a worker.
+
+    Everything heavy (the fitted predictor, cost tables) is captured by
+    the closure *before* the fleet forks, so workers share it
+    copy-on-write; the task returns only a small plain-dict row.
+    """
+    target = config.target
+
+    def fn(ctx):
+        resume_from = None
+        if resume and ctx.checkpoint_dir:
+            resume_from = latest_checkpoint(ctx.checkpoint_dir)
+        result = LightNAS(config, predictor=predictor).search(
+            checkpoint_dir=ctx.checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            journal=ctx.journal,
+        )
+        evaluation = oracle.evaluate(result.architecture)
+        return {
+            "target": target,
+            "seed": config.seed,
+            "true_value": true_value(result.architecture),
+            "predicted": float(result.predicted_metric),
+            "top1": evaluation.top1,
+            "top5": evaluation.top5,
+            "arch": list(result.architecture.op_indices),
+        }
+
+    # the sub-directory name is part of the checkpoint layout contract:
+    # a jobs=1 sweep must resume a jobs=N sweep's checkpoints and back
+    return FleetTask(name=f"target_{target:g}", fn=fn,
+                     subdir=f"target_{target:g}",
+                     header={"target": target, "seed": config.seed,
+                             "metric": config.metric_name})
+
+
 def cmd_sweep(args) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
     space = _space(args)
     latency_model = LatencyModel(space)
     energy_model = EnergyModel(space, latency_model=latency_model)
@@ -310,50 +394,107 @@ def cmd_sweep(args) -> int:
     unit = _METRIC_UNITS[args.metric]
     oracle = AccuracyOracle(space)
     targets = [float(t) for t in args.targets.split(",")]
-    journal = _journal(args)
-    rows = []
+    overrides = {"epochs": args.epochs} if args.epochs else {}
     try:
-        for target in targets:
-            try:
-                # LightNASConfig.__post_init__ canonicalises the metric
-                # shorthand ("latency" → "latency_ms", ...), same as search.
-                config = LightNASConfig.paper(target, space=space,
-                                              seed=args.seed,
-                                              metric_name=args.metric,
-                                              compute_dtype=args.dtype,
-                                              profile_ops=args.profile_ops,
-                                              use_plans=not args.no_plans,
-                                              use_fusion=not args.no_fusion)
-            except ValueError as exc:
-                raise SystemExit(f"error: {exc}")
-            checkpoint_dir = None
-            resume_from = None
-            if args.checkpoint_dir:
-                # one sub-directory per target: targets are independent runs
-                checkpoint_dir = os.path.join(args.checkpoint_dir,
-                                              f"target_{target:g}")
-                if args.resume:
-                    resume_from = latest_checkpoint(checkpoint_dir)
-            try:
-                result = LightNAS(config, predictor=predictor).search(
-                    checkpoint_dir=checkpoint_dir,
-                    checkpoint_every=args.checkpoint_every,
-                    resume_from=resume_from,
-                    journal=journal,
-                )
-            except CheckpointError as exc:
-                raise SystemExit(f"error: {exc}")
-            evaluation = oracle.evaluate(result.architecture)
-            rows.append([f"{target:g} {unit}",
-                         true_value(result.architecture),
-                         evaluation.top1, evaluation.top5,
-                         ",".join(str(i) for i in result.architecture.op_indices)])
-    finally:
-        journal.close()
+        # LightNASConfig.__post_init__ canonicalises the metric shorthand
+        # ("latency" → "latency_ms", ...) and validates every target in
+        # the parent, before any worker forks.
+        configs = [LightNASConfig.paper(target, space=space,
+                                        seed=args.seed,
+                                        metric_name=args.metric,
+                                        compute_dtype=args.dtype,
+                                        profile_ops=args.profile_ops,
+                                        use_plans=not args.no_plans,
+                                        use_fusion=not args.no_fusion,
+                                        **overrides)
+                   for target in targets]
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    tasks = [_sweep_task(config, predictor, oracle, true_value,
+                         args.resume, args.checkpoint_every)
+             for config in configs]
+    values = _run_cli_fleet(args, tasks, seed=args.seed)
+    rows = [[f"{row['target']:g} {unit}", row["true_value"],
+             row["top1"], row["top5"],
+             ",".join(str(i) for i in row["arch"])]
+            for row in values]
     print(render_table(
         ["target", f"{args.metric} {unit}", "top-1 %", "top-5 %",
          "architecture"],
         rows, title="one search per target — no λ tuning"))
+    return 0
+
+
+def cmd_stability(args) -> int:
+    """Fig.-7-style stability campaign: (targets × seeds) searches."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
+    space = _space(args)
+    latency_model = LatencyModel(space)
+    energy_model = EnergyModel(space, latency_model=latency_model)
+    predictor = _metric_predictor(args.metric, space, latency_model,
+                                  energy_model)
+    true_value = {
+        "latency": latency_model.latency_ms,
+        "energy": energy_model.energy_mj,
+        "macs": lambda arch: count_macs(space, arch) / 1e6,
+    }[args.metric]
+    unit = _METRIC_UNITS[args.metric]
+    targets = [float(t) for t in args.targets.split(",")]
+    try:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"error: malformed --seeds: {exc}")
+    if not seeds:
+        raise SystemExit("error: --seeds names no seeds")
+    if len(set(seeds)) != len(seeds):
+        raise SystemExit("error: duplicate seeds in --seeds")
+    overrides = {"epochs": args.epochs} if args.epochs else {}
+    try:
+        grid = [LightNASConfig.paper(target, space=space, seed=seed,
+                                     metric_name=args.metric,
+                                     compute_dtype=args.dtype,
+                                     profile_ops=args.profile_ops,
+                                     use_plans=not args.no_plans,
+                                     use_fusion=not args.no_fusion,
+                                     **overrides)
+                for target in targets for seed in seeds]
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    oracle = AccuracyOracle(space)
+    tasks = []
+    for config in grid:
+        task = _sweep_task(config, predictor, oracle, true_value,
+                           args.resume, args.checkpoint_every)
+        name = f"target_{config.target:g}_seed_{config.seed}"
+        task.name = name
+        task.subdir = name
+        tasks.append(task)
+    values = _run_cli_fleet(args, tasks, seed=min(seeds))
+
+    per_target = {target: [] for target in targets}
+    for row in values:
+        per_target[row["target"]].append(row)
+    rows = []
+    for target in targets:
+        runs = per_target[target]
+        finals = np.asarray([r["true_value"] for r in runs], dtype=np.float64)
+        archs = {tuple(r["arch"]) for r in runs}
+        rows.append([f"{target:g} {unit}", len(runs),
+                     f"{finals.mean():.3f} ± {finals.std():.3f}",
+                     f"{finals.min():.3f} / {finals.max():.3f}",
+                     len(archs)])
+    print(render_table(
+        ["target", "seeds", f"{args.metric} {unit} (mean ± std)",
+         "min / max", "distinct archs"],
+        rows,
+        title=f"multi-seed stability — seeds {args.seeds}"))
+    if args.output:
+        payload = {"metric": args.metric, "targets": targets,
+                   "seeds": seeds, "runs": values}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"saved to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -541,16 +682,53 @@ def cmd_trace_summary(args) -> int:
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     runs = summarize_runs(events)
-    if not runs:
+    fleet = summarize_fleet(events)
+    if not runs and not fleet:
         raise SystemExit(f"error: {args.journal!r} contains no run_header "
                          f"events — not a run journal?")
+    if fleet:
+        stats = fleet.get("stats") or {}
+        timers = ", ".join(
+            f"{name} {info['total_s']:.2f}s/{info['calls']}"
+            for name, info in (fleet.get("phase_timers") or {}).items()
+        ) or "—"
+        retries = "; ".join(
+            f"task {r.get('task')} ({r.get('name')}) attempt "
+            f"{r.get('attempt')}"
+            for r in fleet["retries"]
+        ) or "—"
+        utilization = stats.get("utilization")
+        rows = [
+            ["jobs", fleet["jobs"]],
+            ["tasks", f"{stats.get('completed', '?')} ok / "
+                      f"{stats.get('failed', 0)} failed / "
+                      f"{stats.get('cancelled', 0)} cancelled of "
+                      f"{fleet['declared_tasks']}"],
+            ["retries", retries],
+            ["workers spawned", stats.get("workers_spawned", "—")],
+            ["fleet wall time (s)", stats.get("wall_s", "—")],
+            ["Σ task wall / cpu (s)",
+             f"{stats.get('task_wall_s', 0)} / {stats.get('task_cpu_s', 0)}"],
+            ["parallel speedup", stats.get("parallel_speedup", "—")],
+            ["worker utilization",
+             f"{utilization * 100:.0f}%" if utilization is not None else "—"],
+            ["phase timers (Σ)", timers],
+        ]
+        print(render_table(["field", "value"], rows, title="run fleet"))
     for index, run in enumerate(runs):
         timers = ", ".join(
             f"{name} {info['total_s']:.2f}s/{info['calls']}"
             for name, info in run["phase_timers"].items()
         ) or "—"
         arch = run["architecture"]
-        rows = [
+        rows = []
+        task = run.get("task")
+        if task:
+            rows.append(["fleet task",
+                         f"{task.get('task')}: {task.get('name')} "
+                         f"({task.get('status')}, "
+                         f"{task.get('retries', 0)} retries)"])
+        rows += [
             ["engine", run["engine"]],
             ["metric / target", f"{run['metric_name']} / {run['target']}"],
             ["seed", run["seed"]],
@@ -717,6 +895,41 @@ def cmd_fleet_retarget(args) -> int:
     return 0
 
 
+def cmd_fleet_calibrate(args) -> int:
+    from .fleet import ProxyTransfer
+
+    space = _space(args)
+    devices = _parse_fleet_devices(args)
+    latency_model = LatencyModel(space)
+    proxy = latency_model.device
+    predictor = _proxy_predictor(space, latency_model)
+    # one task per device: the shared calibration set and the fitted
+    # proxy predictor are built here, pre-fork, and inherited by workers
+    fleet = RunFleet(jobs=args.jobs, seed=args.seed)
+    try:
+        transfer = ProxyTransfer.calibrate(
+            predictor, space, devices, num_samples=args.calibration,
+            seed=args.seed, proxy_device=proxy.name,
+            fleet=fleet if args.jobs > 1 else None)
+    except (ValueError, TaskFailure) as exc:
+        raise SystemExit(f"error: {exc}")
+    rows = []
+    for device in devices:
+        fmap = transfer.map_for(device.name)
+        rows.append([device.name, fmap.calibration_size, len(fmap.x_knots),
+                     f"{fmap.y_knots[0]:.3f}-{fmap.y_knots[-1]:.3f}"])
+    print(render_table(
+        ["device", "calibration pairs", "knots", "measured range (ms)"],
+        rows,
+        title=f"proxy transfer maps — proxy {proxy.name}, "
+              f"seed {args.seed}"))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(transfer.to_payload(), handle, indent=2)
+        print(f"saved to {args.output}", file=sys.stderr)
+    return 0
+
+
 def cmd_fleet_search(args) -> int:
     from .fleet import ProxyTransfer
 
@@ -832,9 +1045,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--metric", choices=("latency", "energy", "macs"),
                          default="latency")
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--epochs", type=int, default=0,
+                         help="override search epochs (0 = paper default)")
     p_sweep.add_argument("--tiny", action="store_true")
     _add_runtime_flags(p_sweep)
+    _add_jobs_flag(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_stability = sub.add_parser(
+        "stability",
+        help="multi-seed stability campaign: one search per "
+             "(target, seed) pair, Fig.-7-style mean ± std per target")
+    p_stability.add_argument("--targets", required=True,
+                             help="comma-separated targets, e.g. 20,24,28")
+    p_stability.add_argument("--seeds", default="0,1,2",
+                             help="comma-separated seeds (default 0,1,2)")
+    p_stability.add_argument("--metric",
+                             choices=("latency", "energy", "macs"),
+                             default="latency")
+    p_stability.add_argument("--epochs", type=int, default=0,
+                             help="override search epochs "
+                                  "(0 = paper default)")
+    p_stability.add_argument("--output", default="",
+                             help="also write every run's row to this JSON")
+    p_stability.add_argument("--tiny", action="store_true")
+    _add_runtime_flags(p_stability)
+    _add_jobs_flag(p_stability)
+    p_stability.set_defaults(func=cmd_stability)
 
     p_serve = sub.add_parser(
         "serve", help="batched JSON prediction/query API over HTTP")
@@ -953,6 +1190,32 @@ def build_parser() -> argparse.ArgumentParser:
     pf_retarget.add_argument("--tiny", action="store_true")
     pf_retarget.set_defaults(func=cmd_fleet_retarget)
 
+    pf_calibrate = fleet_sub.add_parser(
+        "calibrate",
+        help="fit per-device proxy transfer maps and save them as JSON "
+             "(--jobs fans the devices across forked workers)")
+    pf_calibrate.add_argument("--devices", default="",
+                              help="comma-separated device names (fleet or "
+                                   "static); overrides --fleet")
+    pf_calibrate.add_argument("--fleet", default="",
+                              help="FAMILY=COUNT spec, e.g. phone=4,mcu=4 "
+                                   f"(default {_DEFAULT_FLEET_SPEC})")
+    pf_calibrate.add_argument("--fleet-seed", type=int,
+                              default=fleet_pkg.DEFAULT_FLEET_SEED,
+                              help="fleet generation seed for --fleet")
+    pf_calibrate.add_argument("--calibration", type=int, default=100,
+                              help="calibration architectures per device "
+                                   "(default 100)")
+    pf_calibrate.add_argument("--seed", type=int, default=0,
+                              help="calibration sampling/measurement seed")
+    pf_calibrate.add_argument("--output", default="",
+                              help="write the transfer-map payload JSON "
+                                   "(ProxyTransfer.from_payload reads it "
+                                   "back)")
+    pf_calibrate.add_argument("--tiny", action="store_true")
+    _add_jobs_flag(pf_calibrate)
+    pf_calibrate.set_defaults(func=cmd_fleet_calibrate)
+
     pf_search = fleet_sub.add_parser(
         "search",
         help="one constrained search against a fleet device (the latency "
@@ -981,6 +1244,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.set_defaults(func=cmd_trace_summary)
 
     return parser
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="fan the independent runs across N forked "
+                             "worker processes; results are bit-identical "
+                             "to --jobs 1 (needs os.fork)")
 
 
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:

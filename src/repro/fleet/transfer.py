@@ -274,7 +274,8 @@ class ProxyTransfer:
     def calibrate(cls, proxy_predictor, space: SearchSpace,
                   devices: Sequence[DeviceProfile], *,
                   num_samples: int = 100, seed: int = 0,
-                  proxy_device: str = "") -> "ProxyTransfer":
+                  proxy_device: str = "",
+                  fleet=None) -> "ProxyTransfer":
         """Fit one map per target device from a shared calibration set.
 
         One set of ``num_samples`` architectures is sampled once; each
@@ -283,6 +284,13 @@ class ProxyTransfer:
         device's calibration stream does not depend on fleet composition
         order — recalibrating a grown fleet reuses identical measurements
         for the devices already present).
+
+        ``fleet`` (a :class:`~repro.runtime.parallel.RunFleet`) fans the
+        per-device measurement + fit across worker processes.  Because
+        every device already owns an independent RNG stream, the fanned
+        calibration is bit-identical to the sequential one — the shared
+        ``ops``/``proxy_values`` arrays are built pre-fork and inherited
+        copy-on-write.
         """
         if num_samples < 2:
             raise ValueError("need at least 2 calibration samples")
@@ -292,12 +300,28 @@ class ProxyTransfer:
         ops = space.sample_indices(num_samples,
                                    np.random.default_rng([seed, 0]))
         proxy_values = proxy_predictor.predict_population(ops)
-        maps: Dict[str, MonotoneMap] = {}
-        for i, device in enumerate(devices):
+
+        def fit_device(i: int, device: DeviceProfile) -> MonotoneMap:
             model = LatencyModel(space, device)
             measured = model.measure_many(
                 ops, np.random.default_rng([seed, 1, i]))
-            maps[device.name] = MonotoneMap.fit(proxy_values, measured)
+            return MonotoneMap.fit(proxy_values, measured)
+
+        if fleet is not None and len(devices) > 1:
+            from ..runtime.parallel import FleetTask
+            tasks = [
+                FleetTask(name=device.name,
+                          fn=lambda ctx, i=i, device=device:
+                          fit_device(i, device),
+                          header={"device": device.name})
+                for i, device in enumerate(devices)
+            ]
+            fitted = fleet.run(tasks).values()  # loud on any failure
+            maps = {device.name: fmap
+                    for device, fmap in zip(devices, fitted)}
+        else:
+            maps = {device.name: fit_device(i, device)
+                    for i, device in enumerate(devices)}
         return cls(maps, proxy_device=proxy_device, calibration_seed=seed)
 
     # ------------------------------------------------------------------

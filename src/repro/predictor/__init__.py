@@ -8,8 +8,11 @@ engine can backpropagate ``∂LAT/∂ᾱ``), and evaluation metrics.
 from .analytic import AnalyticCostPredictor
 from .dataset import (
     PredictorDataset,
+    campaign_shards,
     collect_energy_dataset,
+    collect_energy_dataset_sharded,
     collect_latency_dataset,
+    collect_latency_dataset_sharded,
     encode_architectures,
 )
 from .metrics import kendall_tau, mae, max_error, rmse, spearman_rho
@@ -18,8 +21,11 @@ from .mlp import MLPPredictor, TrainingLog
 __all__ = [
     "AnalyticCostPredictor",
     "PredictorDataset",
+    "campaign_shards",
     "collect_latency_dataset",
     "collect_energy_dataset",
+    "collect_latency_dataset_sharded",
+    "collect_energy_dataset_sharded",
     "encode_architectures",
     "MLPPredictor",
     "TrainingLog",

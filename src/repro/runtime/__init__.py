@@ -13,6 +13,10 @@ engine shares:
   per-epoch records, checkpoint markers, phase-timer aggregates) with a
   near-zero-cost no-op mode, plus a reader for ``python -m repro
   trace-summary``.
+* :mod:`repro.runtime.parallel` — the :class:`~repro.runtime.parallel.
+  RunFleet` executor fanning independent runs (sweep targets, stability
+  seeds, fleet-device calibrations, campaign shards) across forked worker
+  processes, bit-identical to the sequential run and fault-tolerant.
 """
 
 from .checkpoint import (
@@ -26,11 +30,20 @@ from .checkpoint import (
     rng_state_json,
     save_checkpoint,
 )
+from .parallel import (
+    FleetReport,
+    FleetTask,
+    RunFleet,
+    TaskContext,
+    TaskFailure,
+    TaskResult,
+)
 from .telemetry import (
     NullJournal,
     PhaseTimers,
     RunJournal,
     read_journal,
+    summarize_fleet,
     summarize_runs,
 )
 
@@ -44,9 +57,16 @@ __all__ = [
     "restore_rng",
     "rng_state_json",
     "save_checkpoint",
+    "FleetReport",
+    "FleetTask",
     "NullJournal",
     "PhaseTimers",
+    "RunFleet",
     "RunJournal",
+    "TaskContext",
+    "TaskFailure",
+    "TaskResult",
     "read_journal",
+    "summarize_fleet",
     "summarize_runs",
 ]

@@ -35,7 +35,7 @@ import numpy as np
 from ..nn.profiler import merge_profiles
 
 __all__ = ["PhaseTimers", "RunJournal", "NullJournal", "read_journal",
-           "summarize_runs"]
+           "summarize_fleet", "summarize_runs"]
 
 
 class PhaseTimers:
@@ -114,6 +114,20 @@ class RunJournal:
     def run_end(self, **fields: object) -> None:
         self.event("run_end", **fields)
 
+    def append_lines(self, lines) -> None:
+        """Append pre-formatted JSON-lines events verbatim (one flush).
+
+        Used by the :class:`~repro.runtime.parallel.RunFleet` merge: each
+        task's journal already holds well-formed event lines whose
+        ``elapsed_s`` is relative to the *task's* start, and re-encoding
+        them would only risk perturbing float reprs.
+        """
+        for line in lines:
+            line = line.rstrip("\n")
+            if line:
+                self._handle.write(line + "\n")
+        self._handle.flush()
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         if not self._handle.closed:
@@ -146,6 +160,9 @@ class NullJournal(RunJournal):
     def run_end(self, **fields: object) -> None:
         pass
 
+    def append_lines(self, lines) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -176,12 +193,24 @@ def summarize_runs(events: List[dict]) -> List[dict]:
 
     Runs are delimited by ``run_header`` events (a sweep journal holds
     several).  Epoch records before the first header (possible only for a
-    hand-edited file) are ignored.
+    hand-edited file) are ignored.  In a merged :class:`~repro.runtime.
+    parallel.RunFleet` journal each run follows its ``task_header``; the
+    task attribution (index, name, target/seed/... extras) is attached to
+    the run summary as ``run["task"]``, and the fleet-level ``run_end``
+    (the one carrying ``fleet_stats``) is kept out of per-run fields —
+    read it with :func:`summarize_fleet`.
     """
     summaries: List[dict] = []
     current: Optional[dict] = None
+    pending_task: Optional[dict] = None
     for event in events:
         kind = event.get("event")
+        if kind == "task_header":
+            pending_task = {key: value for key, value in event.items()
+                            if key not in ("event", "elapsed_s")}
+            continue
+        if kind == "run_end" and event.get("fleet_stats") is not None:
+            continue  # fleet-level close, not part of any single run
         if kind == "run_header":
             current = {
                 "engine": event.get("engine", "?"),
@@ -199,7 +228,9 @@ def summarize_runs(events: List[dict]) -> List[dict]:
                 "phase_timers": {},
                 "op_profile": {},
                 "plan_stats": {},
+                "task": pending_task,
             }
+            pending_task = None
             summaries.append(current)
         elif current is None:
             continue
@@ -223,3 +254,41 @@ def summarize_runs(events: List[dict]) -> List[dict]:
                 if event.get(key) is not None:
                     current[key] = event[key]
     return summaries
+
+
+def summarize_fleet(events: List[dict]) -> Optional[dict]:
+    """Digest a merged run-fleet journal into one pool summary.
+
+    Returns ``None`` for ordinary (non-fleet) journals.  Fields: ``jobs``,
+    ``tasks`` (``task_header`` digests in task order), ``retries``
+    (``task_retry`` events), ``stats`` (the ``fleet_stats`` payload of the
+    fleet-level ``run_end``) and ``phase_timers`` (aggregated across
+    tasks).
+    """
+    fleet: Optional[dict] = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "fleet_header":
+            fleet = {
+                "jobs": event.get("jobs"),
+                "declared_tasks": event.get("tasks"),
+                "seed": event.get("seed"),
+                "tasks": [],
+                "retries": [],
+                "stats": {},
+                "phase_timers": {},
+            }
+        elif fleet is None:
+            continue
+        elif kind == "task_header":
+            fleet["tasks"].append(
+                {key: value for key, value in event.items()
+                 if key not in ("event", "elapsed_s")})
+        elif kind == "task_retry":
+            fleet["retries"].append(
+                {key: value for key, value in event.items()
+                 if key not in ("event", "elapsed_s")})
+        elif kind == "run_end" and event.get("fleet_stats") is not None:
+            fleet["stats"] = event["fleet_stats"]
+            fleet["phase_timers"] = event.get("phase_timers", {})
+    return fleet

@@ -91,6 +91,84 @@ class TestSearch:
         assert "--metric latency only" in str(excinfo.value)
 
 
+class TestSweep:
+    def test_resume_requires_checkpoint_dir(self):
+        """Regression: sweep --resume without --checkpoint-dir used to be
+        silently ignored (the flag was only read inside the checkpoint-dir
+        branch) — it must abort loudly like search does."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--tiny", "--targets", "2.0,2.5", "--resume"])
+        assert "--checkpoint-dir" in str(excinfo.value)
+
+    def test_jobs_matches_sequential_and_delimits_journal(self, capsys,
+                                                          tmp_path):
+        base = ["sweep", "--tiny", "--targets", "2.0,2.5", "--seed", "0",
+                "--epochs", "20"]
+        assert main(base) == 0
+        sequential = capsys.readouterr().out
+
+        trace = str(tmp_path / "sweep.jsonl")
+        assert main(base + ["--jobs", "2", "--trace", trace]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == sequential  # bit-identical table
+        assert "fleet:" in captured.err
+
+        events = [json.loads(line) for line in open(trace)]
+        headers = [e for e in events if e["event"] == "task_header"]
+        assert [h["name"] for h in headers] == ["target_2", "target_2.5"]
+        assert [h["target"] for h in headers] == [2.0, 2.5]
+
+        assert main(["trace-summary", trace]) == 0
+        summary = capsys.readouterr().out
+        assert "run fleet" in summary
+        assert "fleet task" in summary
+
+    def test_sequential_journal_delimits_targets(self, capsys, tmp_path):
+        """Regression: one shared sweep journal had no per-target
+        delimiter, so trace-summary could not attribute epochs."""
+        trace = str(tmp_path / "seq.jsonl")
+        assert main(["sweep", "--tiny", "--targets", "2.0,2.5",
+                     "--epochs", "20", "--trace", trace]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in open(trace)]
+        headers = [e for e in events if e["event"] == "task_header"]
+        assert [h["target"] for h in headers] == [2.0, 2.5]
+
+
+class TestStability:
+    def test_grid_runs_and_reports(self, capsys, tmp_path):
+        output = tmp_path / "stability.json"
+        assert main(["stability", "--tiny", "--targets", "2.0",
+                     "--seeds", "0,1", "--epochs", "20", "--jobs", "2",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "multi-seed stability" in out
+        with open(output) as handle:
+            payload = json.load(handle)
+        assert payload["seeds"] == [0, 1]
+        assert len(payload["runs"]) == 2
+        assert {run["seed"] for run in payload["runs"]} == {0, 1}
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stability", "--tiny", "--targets", "2.0",
+                  "--seeds", "0,0"])
+        assert "duplicate" in str(excinfo.value)
+
+
+class TestFleetCalibrate:
+    def test_writes_transfer_payload(self, capsys, tmp_path):
+        output = tmp_path / "maps.json"
+        assert main(["fleet", "calibrate", "--tiny",
+                     "--fleet", "phone=2", "--calibration", "30",
+                     "--jobs", "2", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "proxy transfer maps" in out
+        with open(output) as handle:
+            payload = json.load(handle)
+        assert set(payload["maps"]) == {"phone-00", "phone-01"}
+
+
 class TestRuntimeFlags:
     def test_resume_requires_checkpoint_dir(self):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,321 @@
+"""Tests of the run-fleet executor: determinism, faults, journal merge."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import multi_seed_campaign, stability_summary
+from repro.core.lightnas import LightNAS, LightNASConfig
+from repro.fleet import ProxyTransfer, generate_fleet
+from repro.predictor.dataset import (
+    campaign_shards,
+    collect_energy_dataset_sharded,
+    collect_latency_dataset_sharded,
+)
+from repro.runtime.parallel import (
+    FleetTask,
+    RunFleet,
+    TaskFailure,
+)
+from repro.runtime.telemetry import (
+    RunJournal,
+    read_journal,
+    summarize_fleet,
+    summarize_runs,
+)
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="needs os.fork")
+
+#: Journal fields that legitimately differ between jobs levels (timing,
+#: process identity, pool geometry) — everything else must match exactly.
+VOLATILE = {"elapsed_s", "wall_time_s", "cpu_time_s", "unix_time",
+            "worker", "jobs", "fleet_stats", "phase_timers"}
+
+
+def normalized_events(path):
+    return [{key: value for key, value in event.items()
+             if key not in VOLATILE}
+            for event in read_journal(path)]
+
+
+def search_tasks(space, predictor, targets, seeds=(0,)):
+    """One tiny surrogate search per (target, seed) — the sweep shape."""
+    tasks = []
+    for target in targets:
+        for seed in seeds:
+            config = LightNASConfig.paper(target, space=space, seed=seed,
+                                          epochs=12, steps_per_epoch=8)
+
+            def fn(ctx, config=config):
+                result = LightNAS(config, predictor=predictor).search(
+                    journal=ctx.journal)
+                return {
+                    "arch": list(result.architecture.op_indices),
+                    "predicted": float(result.predicted_metric),
+                    "trajectory": list(result.trajectory.predicted_metric),
+                }
+
+            tasks.append(FleetTask(
+                name=f"target_{target:g}_seed_{seed}", fn=fn,
+                header={"target": target, "seed": seed}))
+    return tasks
+
+
+class TestFleetBasics:
+    def test_values_in_task_order(self):
+        fleet = RunFleet(jobs=1, seed=0)
+        tasks = [FleetTask(name=f"t{i}", fn=lambda ctx, i=i: i * i)
+                 for i in range(5)]
+        assert fleet.run(tasks).values() == [0, 1, 4, 9, 16]
+
+    def test_task_rng_is_spawned_per_index(self):
+        fleet = RunFleet(jobs=1, seed=42)
+        tasks = [FleetTask(name=f"t{i}",
+                           fn=lambda ctx: float(ctx.rng.random()))
+                 for i in range(3)]
+        values = fleet.run(tasks).values()
+        expected = [float(np.random.default_rng([42, i]).random())
+                    for i in range(3)]
+        assert values == expected
+
+    def test_rejects_duplicate_task_names(self):
+        fleet = RunFleet(jobs=1)
+        with pytest.raises(ValueError, match="unique"):
+            fleet.run([FleetTask(name="same", fn=lambda ctx: 1),
+                       FleetTask(name="same", fn=lambda ctx: 2)])
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            RunFleet(jobs=0)
+
+    def test_deterministic_error_is_not_retried(self):
+        def boom(ctx):
+            raise ValueError("deterministic bug")
+
+        fleet = RunFleet(jobs=1, seed=0)
+        report = fleet.run([FleetTask(name="boom", fn=boom),
+                            FleetTask(name="fine", fn=lambda ctx: "ok")])
+        bad, good = report.results
+        assert bad.status == "failed"
+        assert bad.retries == 0
+        assert "deterministic bug" in bad.error
+        assert good.ok and good.value == "ok"
+        assert report.failures() == [bad]
+        with pytest.raises(TaskFailure, match="boom"):
+            report.values()
+
+    def test_stats_shape(self):
+        fleet = RunFleet(jobs=1, seed=0)
+        report = fleet.run([FleetTask(name="t", fn=lambda ctx: None)])
+        for key in ("jobs", "tasks", "completed", "failed", "cancelled",
+                    "retries", "workers_spawned", "wall_s", "task_wall_s",
+                    "task_cpu_s", "utilization", "parallel_speedup"):
+            assert key in report.stats
+        assert report.stats["completed"] == 1
+
+    @needs_fork
+    def test_forked_values_match_inline(self):
+        tasks = lambda: [  # noqa: E731 - tiny local factory
+            FleetTask(name=f"t{i}",
+                      fn=lambda ctx, i=i: (i, float(ctx.rng.random())))
+            for i in range(6)]
+        inline = RunFleet(jobs=1, seed=7).run(tasks()).values()
+        forked = RunFleet(jobs=3, seed=7).run(tasks()).values()
+        assert inline == forked
+
+
+@needs_fork
+class TestFleetParity:
+    """jobs=1 vs jobs=4 bit-identity on the shipped workloads."""
+
+    def test_sweep_parity(self, tiny_space, tiny_predictor):
+        targets = (2.0, 2.4, 2.8)
+        sequential = RunFleet(jobs=1, seed=0).run(
+            search_tasks(tiny_space, tiny_predictor, targets)).values()
+        fanned = RunFleet(jobs=4, seed=0).run(
+            search_tasks(tiny_space, tiny_predictor, targets)).values()
+        assert sequential == fanned  # archs, metrics AND trajectories
+
+    def test_stability_parity_and_journals(self, tiny_space, tiny_predictor,
+                                           tmp_path):
+        targets, seeds = (2.0, 2.5), (0, 1)
+
+        def run_with(jobs, name):
+            journal = RunJournal(str(tmp_path / name))
+            fleet = RunFleet(jobs=jobs, seed=0, journal=journal)
+            values = fleet.run(search_tasks(tiny_space, tiny_predictor,
+                                            targets, seeds)).values()
+            journal.close()
+            return values, journal.path
+
+        seq_values, seq_journal = run_with(1, "seq.jsonl")
+        par_values, par_journal = run_with(4, "par.jsonl")
+        assert seq_values == par_values
+        # merged journals agree event-for-event once timing/process
+        # identity fields are dropped — same order, same payloads
+        assert normalized_events(seq_journal) == normalized_events(
+            par_journal)
+
+    def test_journal_attribution_and_fleet_summary(self, tiny_space,
+                                                   tiny_predictor, tmp_path):
+        journal = RunJournal(str(tmp_path / "fleet.jsonl"))
+        fleet = RunFleet(jobs=2, seed=0, journal=journal)
+        report = fleet.run(search_tasks(tiny_space, tiny_predictor,
+                                        (2.0, 2.5)))
+        journal.close()
+        events = read_journal(journal.path)
+        assert events[0]["event"] == "fleet_header"
+
+        runs = summarize_runs(events)
+        assert [run["task"]["name"] for run in runs] == [
+            "target_2_seed_0", "target_2.5_seed_0"]
+        assert [run["task"]["target"] for run in runs] == [2.0, 2.5]
+        assert all(run["epochs_recorded"] == 12 for run in runs)
+
+        digest = summarize_fleet(events)
+        assert digest["jobs"] == 2
+        assert digest["declared_tasks"] == 2
+        assert digest["stats"] == report.stats
+        assert digest["phase_timers"]  # aggregated across both tasks
+
+    def test_multi_seed_campaign_parity(self, tiny_space, tiny_predictor):
+        def factory(seed):
+            config = LightNASConfig.paper(2.2, space=tiny_space, seed=seed,
+                                          epochs=12, steps_per_epoch=8)
+            return LightNAS(config, predictor=tiny_predictor)
+
+        seeds = (0, 1, 2)
+        sequential = multi_seed_campaign(factory, seeds)
+        fanned = multi_seed_campaign(factory, seeds,
+                                     fleet=RunFleet(jobs=3, seed=0))
+        assert [r.architecture for r in sequential] == \
+            [r.architecture for r in fanned]
+        assert [float(r.predicted_metric) for r in sequential] == \
+            [float(r.predicted_metric) for r in fanned]
+        summary = stability_summary(fanned, 2.2)
+        assert summary["seeds"] == 3
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_sharded_campaign_parity(self, tiny_latency_model,
+                                     tiny_energy_model):
+        sequential = collect_latency_dataset_sharded(
+            tiny_latency_model, 600, 5, shard_size=100)
+        fanned = collect_latency_dataset_sharded(
+            tiny_latency_model, 600, 5, shard_size=100,
+            fleet=RunFleet(jobs=4, seed=0))
+        assert np.array_equal(sequential.features, fanned.features)
+        assert np.array_equal(sequential.targets, fanned.targets)
+
+        seq_energy = collect_energy_dataset_sharded(
+            tiny_energy_model, 300, 5, shard_size=80)
+        par_energy = collect_energy_dataset_sharded(
+            tiny_energy_model, 300, 5, shard_size=80,
+            fleet=RunFleet(jobs=3, seed=0))
+        assert np.array_equal(seq_energy.targets, par_energy.targets)
+
+    def test_calibrate_parity(self, tiny_space, tiny_latency_model,
+                              tiny_predictor):
+        devices = generate_fleet("phone", 2) + generate_fleet("mcu", 2)
+        sequential = ProxyTransfer.calibrate(
+            tiny_predictor, tiny_space, devices, num_samples=40, seed=0)
+        fanned = ProxyTransfer.calibrate(
+            tiny_predictor, tiny_space, devices, num_samples=40, seed=0,
+            fleet=RunFleet(jobs=4, seed=0))
+        assert sequential.to_payload() == fanned.to_payload()
+
+
+class TestShardLayout:
+    def test_campaign_shards_cover_exactly(self):
+        assert campaign_shards(10, 4) == [(0, 4), (1, 4), (2, 2)]
+        assert campaign_shards(3, 100) == [(0, 3)]
+        assert sum(c for _, c in campaign_shards(4001, 250)) == 4001
+
+    def test_campaign_shards_validate(self):
+        with pytest.raises(ValueError):
+            campaign_shards(0, 10)
+        with pytest.raises(ValueError):
+            campaign_shards(10, 0)
+
+    def test_shard_layout_is_jobs_invariant(self, tiny_latency_model):
+        # the dataset depends on shard_size (part of the layout), never on
+        # who executes the shards
+        a = collect_latency_dataset_sharded(tiny_latency_model, 200, 9,
+                                            shard_size=50)
+        b = collect_latency_dataset_sharded(tiny_latency_model, 200, 9,
+                                            shard_size=50,
+                                            fleet=RunFleet(jobs=1))
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_campaign_rejects_duplicate_or_empty_seeds(self):
+        with pytest.raises(ValueError):
+            multi_seed_campaign(lambda seed: None, [])
+        with pytest.raises(ValueError):
+            multi_seed_campaign(lambda seed: None, [1, 1])
+
+
+@needs_fork
+class TestFleetFaults:
+    def test_sigkill_mid_task_retried_once(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "faults.jsonl"))
+        fleet = RunFleet(jobs=2, seed=0, journal=journal)
+
+        def victim(ctx):
+            if ctx.attempt == 0 and ctx.in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return "survived"
+
+        tasks = [FleetTask(name="victim", fn=victim)] + [
+            FleetTask(name=f"ok{i}", fn=lambda ctx, i=i: i)
+            for i in range(3)]
+        report = fleet.run(tasks)
+        journal.close()
+
+        assert report.values() == ["survived", 0, 1, 2]
+        assert report.results[0].retries == 1
+        assert report.stats["retries"] == 1
+        # attempt 0 ran on worker 0 (initial assignment is in task order)
+        # and worker 0 was killed, so the retry must land on a different,
+        # live worker: either a fresh replacement (3 spawns) or the other
+        # initial worker if it had already drained its queue (2 spawns) —
+        # which one wins is a scheduling race.
+        assert report.results[0].worker != 0
+        assert report.stats["workers_spawned"] in (2, 3)
+
+        events = read_journal(journal.path)
+        retries = [e for e in events if e["event"] == "task_retry"]
+        assert len(retries) == 1
+        assert retries[0]["name"] == "victim"
+
+    def test_repeated_crash_becomes_structured_failure(self):
+        def always_dies(ctx):
+            if ctx.in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return "unreachable"
+
+        fleet = RunFleet(jobs=2, seed=0)
+        report = fleet.run([
+            FleetTask(name="doomed", fn=always_dies),
+            FleetTask(name="fine", fn=lambda ctx: "ok"),
+        ])
+        doomed, fine = report.results
+        assert doomed.status == "failed"
+        assert doomed.retries == 1  # one retry, then reported
+        assert "worker died" in doomed.error
+        assert fine.ok and fine.value == "ok"
+        with pytest.raises(TaskFailure, match="doomed"):
+            report.values()
+
+    def test_hung_task_times_out_and_retries(self):
+        def hangs_once(ctx):
+            if ctx.attempt == 0:
+                time.sleep(30)
+            return "recovered"
+
+        fleet = RunFleet(jobs=2, seed=0, task_timeout=1.0)
+        report = fleet.run([FleetTask(name="hang", fn=hangs_once)])
+        assert report.values() == ["recovered"]
+        assert report.results[0].retries == 1
